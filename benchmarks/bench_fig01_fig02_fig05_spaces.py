@@ -1,0 +1,55 @@
+"""Figures 1, 2 and 5: iteration-space and data-space diagrams.
+
+Regenerated from the real analyses — Fig. 1 by enumerating the strip-mined
+triangular space, Figs. 2/5 from bounded-regular-section computations —
+and checked against the paper's geometric claims.
+"""
+
+from repro.bench.figures import (
+    figure1_iteration_space,
+    figure2_sections,
+    figure5_sections,
+)
+from repro.ir.pretty import fmt_expr
+
+
+def test_fig01_triangular_iteration_space(benchmark, show):
+    points, art = benchmark.pedantic(
+        lambda: figure1_iteration_space(n=12, strip=4), rounds=1, iterations=1
+    )
+    show("Figure 1: upper-left triangular iteration space (N=12, IS=4)", art)
+    # geometric claims: everything above the diagonal J = II, strip
+    # boundaries at 1, 5, 9
+    assert all(j >= ii for ii, j in points)
+    assert {(1, 1), (12, 12), (1, 12)} <= points
+    assert (12, 1) not in points
+    # trapezoid per strip: the first strip's II=1 column is the tallest
+    col_heights = {ii: sum(1 for x, _ in points if x == ii) for ii in range(1, 13)}
+    assert col_heights[1] > col_heights[4] > col_heights[12]
+
+
+def test_fig02_data_space_of_a(benchmark, show):
+    sections = benchmark.pedantic(figure2_sections, rounds=1, iterations=1)
+    text = "\n".join(f"{k:24s} -> {v.pretty()}" for k, v in sections.items())
+    show("Figure 2: data space of A in the Sec. 3.3 loop", text)
+    read_ii = next(v for k, v in sections.items() if "II" in k)
+    write_k = next(v for k, v in sections.items() if "read" not in k and "K" in k)
+    # the paper's exact claim: A(II) reads I..I+IS-1, A(K) spans I..N
+    assert fmt_expr(read_ii.dims[0].lo) == "I"
+    assert "I + IS - 1" in fmt_expr(read_ii.dims[0].hi)
+    assert fmt_expr(write_k.dims[0].lo) == "I"
+    assert fmt_expr(write_k.dims[0].hi) == "N"
+
+
+def test_fig05_lu_sections(benchmark, show):
+    sections = benchmark.pedantic(figure5_sections, rounds=1, iterations=1)
+    text = "\n".join(f"{k:26s} -> {v.pretty()}" for k, v in sections.items())
+    show("Figure 5: sections of A over one KK block of strip-mined LU", text)
+    panel = sections["stmt 20 writes A(I,KK)"]
+    trail = sections["stmt 10 writes A(I,J)"]
+    # columns: the panel covers K..K+KS-1 (clamped); the update K+1..N
+    assert fmt_expr(panel.dims[1].lo) == "K"
+    assert "K + KS - 1" in fmt_expr(panel.dims[1].hi)
+    assert fmt_expr(trail.dims[1].hi) == "N"
+    # rows agree: K+1..N both
+    assert fmt_expr(panel.dims[0].lo) == fmt_expr(trail.dims[0].lo) == "K + 1"

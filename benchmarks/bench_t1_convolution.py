@@ -1,0 +1,42 @@
+"""Table T1 (Sec. 3.2): Aconv/Conv, original vs transformed.
+
+The transformed kernels are derived by the compiler (complete trapezoid
+splitting, triangular/rhomboidal unroll-and-jam, scalar replacement).
+Paper speedups: 1.80–1.91; the effect is register traffic, which the cost
+model's reference term carries, so the paper-size problems run unscaled.
+"""
+
+import pytest
+
+from repro.bench.experiments import conv_transformed, table_t1_convolution
+
+
+def test_t1_table(benchmark, show):
+    table = benchmark.pedantic(table_t1_convolution, rounds=1, iterations=1)
+    show(table.title, table.render())
+    for row in table.rows:
+        # the transformed kernel must win.  The paper measured 1.8-1.9x;
+        # the ref-count cost model overstates register-blocking wins on
+        # this flop-heavy kernel (it does not charge the multiply-adds
+        # that remain), so the accepted same-shape band is wider upward.
+        assert 1.3 <= row["modeled_speedup"] <= 3.5, row
+        assert row["refs_xform"] < row["refs_orig"]
+    # larger problems must not lose the effect
+    by_kernel = {}
+    for row in table.rows:
+        by_kernel.setdefault(row["kernel"], []).append(row["modeled_speedup"])
+    for kernel, sp in by_kernel.items():
+        assert max(sp) / min(sp) < 1.5, f"{kernel}: speedup should be size-stable"
+
+
+@pytest.mark.parametrize("kind", ["aconv", "conv"])
+def test_t1_wallclock_kernels(benchmark, kind):
+    """Wall-clock of the compiled transformed kernel (pytest-benchmark
+    timing; relative numbers only — this is CPython)."""
+    import numpy as np
+
+    from repro.runtime import compile_procedure
+
+    run = compile_procedure(conv_transformed(kind))
+    sizes = {"N1": 120, "N2": 103, "N3": 120, "DT": 0.5}
+    benchmark(lambda: run(sizes, seed=1))

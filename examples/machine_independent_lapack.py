@@ -1,0 +1,77 @@
+"""The Section 6 thesis: one machine-independent source, many machines.
+
+Block Householder QR cannot be derived by the compiler (Sec. 5.3), so the
+paper proposes writing block algorithms in extended Fortran — ``BLOCK DO``
+with the blocking factor left to the compiler.  This demo takes the
+paper's Figure 11 (block LU in extended Fortran), compiles it for three
+different memory hierarchies, and shows each machine getting its own
+blocking factor from the *same* source — the LAPACK portability problem,
+solved the way Sec. 6 proposes.
+
+Run:  python examples/machine_independent_lapack.py
+"""
+
+from repro.algorithms import lu_point_ir
+from repro.bench.harness import measure
+from repro.frontend import parse_procedure
+from repro.ir import to_fortran
+from repro.lang import choose_factor, lower_extensions
+from repro.machine.cache import CacheConfig
+from repro.machine.model import MachineModel, RS6000_540, scaled_machine
+from repro.runtime.validate import assert_equivalent
+
+FIG11 = """
+SUBROUTINE BLU(N)
+  DOUBLE PRECISION A(N,N)
+  BLOCK DO K = 1,N-1
+    IN K DO KK
+      DO I = KK+1,N
+        A(I,KK) = A(I,KK)/A(KK,KK)
+      ENDDO
+      DO J = KK+1,LAST(K)
+        DO I = KK+1,N
+          A(I,J) = A(I,J) - A(I,KK) * A(KK,J)
+        ENDDO
+      ENDDO
+    ENDDO
+    DO J = LAST(K)+1,N
+      DO I = K+1,N
+        IN K DO KK = K,MIN(LAST(K),I-1)
+          A(I,J) = A(I,J) - A(I,KK) * A(KK,J)
+        ENDDO
+      ENDDO
+    ENDDO
+  ENDDO
+END
+"""
+
+MACHINES = [
+    scaled_machine(8),  # a tiny cache
+    scaled_machine(4),  # the scaled RS/6000
+    MachineModel(
+        "big-cache", CacheConfig(256 * 1024, 64, 8), RS6000_540.cost, 0.5, RS6000_540.tlb
+    ),
+]
+
+
+def main() -> None:
+    source = parse_procedure(FIG11)
+    print("machine-independent source (the paper's Figure 11):")
+    print(to_fortran(source))
+
+    n = 96
+    print(f"\ncompiling for three machines at N={n}:")
+    for machine in MACHINES:
+        factor = choose_factor(source, machine, {"N": n})
+        lowered, _ = lower_extensions(source, factor=factor)
+        assert_equivalent(lu_point_ir(), lowered, {"N": 32, "KS": factor} if "KS" in lowered.params else {"N": 32})
+        got = measure(lowered, {"N": n, "KS": factor} if "KS" in lowered.params else {"N": n}, machine)
+        print(
+            f"   {machine.describe():60s} -> factor {factor:3d}   "
+            f"{got.misses:8d} misses, modeled {got.modeled_seconds:.4f}s"
+        )
+    print("\nsame source, three blocking factors — no hand retuning.")
+
+
+if __name__ == "__main__":
+    main()

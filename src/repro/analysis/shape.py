@@ -1,0 +1,139 @@
+"""Iteration-space shape classification (paper Sec. 3).
+
+Given an inner loop and the induction variable of an outer loop, classify
+how the inner bounds depend on the outer variable:
+
+- **rectangular** — neither bound mentions it;
+- **triangular** — exactly one bound is affine ``alpha*outer + beta``
+  (Fig. 1's space is ``TRIANGULAR_LO`` with ``alpha > 0``);
+- **trapezoidal** — a MIN upper bound (or MAX lower bound) mixing an
+  outer-dependent affine arm with outer-invariant arms (Sec. 3.2);
+- **rhomboidal** — both bounds affine in the outer variable with equal
+  slope (the adjoint-convolution loop);
+- **unknown** — anything else (the compiler then refuses to block).
+
+The extracted ``alpha``/``beta`` feed the triangular-interchange bound
+formula and the trapezoidal split-point computation directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.expr import Const, Expr, Max, Min
+from repro.ir.stmt import Loop
+from repro.symbolic.affine import from_affine, to_affine
+from repro.symbolic.simplify import simplify
+
+
+class LoopShape(enum.Enum):
+    RECTANGULAR = "rectangular"
+    TRIANGULAR_LO = "triangular-lo"  # lo = alpha*outer + beta
+    TRIANGULAR_HI = "triangular-hi"  # hi = alpha*outer + beta
+    TRAPEZOIDAL_MIN = "trapezoidal-min"  # hi = MIN(alpha*outer+beta, invariants)
+    TRAPEZOIDAL_MAX = "trapezoidal-max"  # lo = MAX(alpha*outer+beta, invariants)
+    RHOMBOIDAL = "rhomboidal"  # both bounds alpha*outer + beta_{lo,hi}
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class CoupledBound:
+    """One bound's dependence on the outer variable: ``alpha*outer + beta``.
+
+    ``invariant_arms`` holds the outer-invariant MIN/MAX arms of a
+    trapezoidal bound (usually a single ``N``)."""
+
+    alpha: int
+    beta: Expr
+    invariant_arms: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class ShapeInfo:
+    kind: LoopShape
+    outer_var: str
+    lo: Optional[CoupledBound] = None  # set when the lower bound couples
+    hi: Optional[CoupledBound] = None  # set when the upper bound couples
+
+    @property
+    def coupled(self) -> Optional[CoupledBound]:
+        """The coupling bound for single-sided shapes."""
+        return self.lo if self.lo is not None else self.hi
+
+
+def _affine_coupling(e: Expr, outer_var: str) -> Optional[CoupledBound]:
+    """Decompose ``e = alpha*outer + beta`` with integer alpha != 0."""
+    aff = to_affine(e)
+    if aff is None:
+        return None
+    c = aff.coeff(outer_var)
+    if c == 0 or c.denominator != 1:
+        return None
+    beta_aff = aff - aff.__class__.make({outer_var: c})
+    if not beta_aff.is_integral():
+        return None
+    return CoupledBound(int(c), simplify(from_affine(beta_aff)))
+
+
+def _invariant(e: Expr, outer_var: str) -> bool:
+    aff = to_affine(e)
+    if aff is not None:
+        return aff.coeff(outer_var) == 0
+    from repro.ir.expr import free_vars
+
+    return outer_var not in free_vars(e)
+
+
+def _classify_bound(e: Expr, outer_var: str, is_upper: bool):
+    """Returns ('invariant', None) | ('affine', CoupledBound) |
+    ('trapezoid', CoupledBound with invariant_arms) | ('unknown', None)."""
+    if _invariant(e, outer_var):
+        return "invariant", None
+    cb = _affine_coupling(e, outer_var)
+    if cb is not None:
+        return "affine", cb
+    node_t = Min if is_upper else Max
+    if isinstance(e, node_t):
+        coupled = [a for a in e.args if not _invariant(a, outer_var)]
+        invariant = tuple(a for a in e.args if _invariant(a, outer_var))
+        if len(coupled) == 1 and invariant:
+            cb = _affine_coupling(coupled[0], outer_var)
+            if cb is not None:
+                return "trapezoid", CoupledBound(cb.alpha, cb.beta, invariant)
+    return "unknown", None
+
+
+def classify_loop_shape(inner: Loop, outer_var: str) -> ShapeInfo:
+    """Classify ``inner``'s iteration-space shape against ``outer_var``."""
+    if inner.step != Const(1):
+        return ShapeInfo(LoopShape.UNKNOWN, outer_var)
+    lo_kind, lo_cb = _classify_bound(inner.lo, outer_var, is_upper=False)
+    hi_kind, hi_cb = _classify_bound(inner.hi, outer_var, is_upper=True)
+
+    if lo_kind == "unknown" or hi_kind == "unknown":
+        return ShapeInfo(LoopShape.UNKNOWN, outer_var)
+    if lo_kind == "invariant" and hi_kind == "invariant":
+        return ShapeInfo(LoopShape.RECTANGULAR, outer_var)
+    if lo_kind == "affine" and hi_kind == "invariant":
+        return ShapeInfo(LoopShape.TRIANGULAR_LO, outer_var, lo=lo_cb)
+    if lo_kind == "invariant" and hi_kind == "affine":
+        return ShapeInfo(LoopShape.TRIANGULAR_HI, outer_var, hi=hi_cb)
+    if lo_kind == "invariant" and hi_kind == "trapezoid":
+        return ShapeInfo(LoopShape.TRAPEZOIDAL_MIN, outer_var, hi=hi_cb)
+    if lo_kind == "trapezoid" and hi_kind == "invariant":
+        return ShapeInfo(LoopShape.TRAPEZOIDAL_MAX, outer_var, lo=lo_cb)
+    if lo_kind == "affine" and hi_kind == "affine":
+        if lo_cb.alpha == hi_cb.alpha:
+            return ShapeInfo(LoopShape.RHOMBOIDAL, outer_var, lo=lo_cb, hi=hi_cb)
+        return ShapeInfo(LoopShape.UNKNOWN, outer_var)
+    # trapezoid on both sides (the full convolution loop): report as MAX
+    # with the MIN kept in hi for the splitter to take in two passes.
+    if lo_kind == "trapezoid" and hi_kind == "trapezoid":
+        return ShapeInfo(LoopShape.TRAPEZOIDAL_MAX, outer_var, lo=lo_cb, hi=hi_cb)
+    if lo_kind == "trapezoid" and hi_kind == "affine":
+        return ShapeInfo(LoopShape.TRAPEZOIDAL_MAX, outer_var, lo=lo_cb, hi=hi_cb)
+    if lo_kind == "affine" and hi_kind == "trapezoid":
+        return ShapeInfo(LoopShape.TRAPEZOIDAL_MIN, outer_var, lo=lo_cb, hi=hi_cb)
+    return ShapeInfo(LoopShape.UNKNOWN, outer_var)  # pragma: no cover

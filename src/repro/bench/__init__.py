@@ -1,0 +1,22 @@
+"""Benchmark harness: regenerate every table and figure of the paper.
+
+- :mod:`repro.bench.harness` — run a procedure against a machine model,
+  collecting simulated cache statistics and modeled time; plain-text table
+  rendering.
+- :mod:`repro.bench.experiments` — one entry per experiment in DESIGN.md's
+  index: the workload, the variant procedures (point, hand-blocked,
+  compiler-derived, "+"-optimized), the paper's published numbers, and the
+  shape assertions ("blocked wins by roughly the paper's factor").
+
+Scaling: the paper's testbed ran 300–500² problems against a 64 KB cache.
+Tracing every element access of those sizes in Python is possible but
+slow, so each experiment defaults to geometry-preserving scaled runs
+(problem dimensions ÷ s, cache capacity ÷ s², line ÷ s — see
+:func:`repro.machine.scaled_machine`) and reports the scale next to the
+numbers.  Absolute seconds are not comparable to the paper's (by design);
+speedup *ratios* are.
+"""
+
+from repro.bench.harness import MeasureResult, Table, measure, render_rows
+
+__all__ = ["MeasureResult", "Table", "measure", "render_rows"]

@@ -1,0 +1,117 @@
+"""End-to-end blockability classification."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.commutativity import (
+    match_column_update,
+    match_row_interchange,
+    operations_commute,
+)
+from repro.analysis.dependence import Dependence
+from repro.analysis.graph import _top_stmt_of
+from repro.errors import TransformError
+from repro.ir.expr import ExprLike
+from repro.ir.stmt import Loop, Procedure, Stmt
+from repro.symbolic.assume import Assumptions
+from repro.transform.blocking import BlockingReport, block_loop
+
+
+class Verdict(enum.Enum):
+    """The Sec. 5 taxonomy."""
+
+    BLOCKABLE = "blockable"
+    BLOCKABLE_WITH_COMMUTATIVITY = "blockable-with-commutativity"
+    NOT_BLOCKABLE = "not-blockable"
+
+
+@dataclass
+class BlockabilityResult:
+    verdict: Verdict
+    procedure: Optional[Procedure]  # the derived block algorithm (when any)
+    report: Optional[BlockingReport]
+    note: str = ""
+
+    def describe(self) -> str:
+        lines = [f"verdict: {self.verdict.value}"]
+        if self.note:
+            lines.append(self.note)
+        if self.report:
+            lines += [f"  {s}" for s in self.report.steps]
+        return "\n".join(lines)
+
+
+def _match_group(stmt: Stmt):
+    """Classify a top-level statement of the loop body as a known
+    operation group, if possible."""
+    if not isinstance(stmt, Loop):
+        return None
+    got = match_row_interchange(stmt)
+    if got is not None:
+        return got
+    return match_column_update(stmt)
+
+
+def commutativity_oracle(proc: Procedure, loop: Loop, dep: Dependence) -> bool:
+    """May ``dep`` be ignored for distribution of ``loop``?
+
+    True exactly when its endpoints live in two *different* top-level
+    statement groups of the loop body that match known commuting
+    operations (row interchange vs whole-column update, Sec. 5.2).
+    """
+    u = _top_stmt_of(dep.source, loop)
+    v = _top_stmt_of(dep.sink, loop)
+    if u is None or v is None or u is v:
+        return False
+    gu, gv = _match_group(u), _match_group(v)
+    if gu is None or gv is None:
+        return False
+    return operations_commute(gu, gv)
+
+
+def classify(
+    proc: Procedure,
+    loop_var: str,
+    factor: ExprLike,
+    ctx: Optional[Assumptions] = None,
+    allow_commutativity: bool = True,
+    require_innermost: int = 1,
+) -> BlockabilityResult:
+    """Run the blockability study for one point algorithm.
+
+    ``require_innermost`` is how many strip loops must reach the innermost
+    position for the blocking to count (block LU needs the trailing-update
+    nest blocked; the panel legitimately stays point).
+    """
+    base_ctx = ctx.copy() if ctx is not None else Assumptions()
+
+    try:
+        blocked, report = block_loop(proc, loop_var, factor, ctx=base_ctx.copy())
+    except TransformError as e:
+        return BlockabilityResult(Verdict.NOT_BLOCKABLE, None, None, note=str(e))
+    if report.blocked_innermost >= require_innermost:
+        return BlockabilityResult(Verdict.BLOCKABLE, blocked, report)
+
+    if allow_commutativity:
+        try:
+            blocked2, report2 = block_loop(
+                proc, loop_var, factor, ctx=base_ctx.copy(), ignore_dep=commutativity_oracle
+            )
+        except TransformError as e:
+            return BlockabilityResult(Verdict.NOT_BLOCKABLE, None, report, note=str(e))
+        if report2.blocked_innermost >= require_innermost and report2.used_commutativity:
+            return BlockabilityResult(
+                Verdict.BLOCKABLE_WITH_COMMUTATIVITY, blocked2, report2
+            )
+        if report2.blocked_innermost >= require_innermost:
+            return BlockabilityResult(Verdict.BLOCKABLE, blocked2, report2)
+
+    return BlockabilityResult(
+        Verdict.NOT_BLOCKABLE,
+        None,
+        report,
+        note="no strip loop reached the innermost position",
+    )

@@ -1,0 +1,44 @@
+"""Shared exception hierarchy for the repro compiler.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+distinguish "the compiler declined to transform" (expected, part of the
+blockability study) from genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ParseError(ReproError):
+    """The Fortran-subset front end rejected the input text."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.line = line
+        self.col = col
+        where = f" at line {line}" if line is not None else ""
+        super().__init__(f"{message}{where}")
+
+
+class AnalysisError(ReproError):
+    """An analysis (dependence, sections, shape) could not produce a result."""
+
+
+class TransformError(ReproError):
+    """A transformation's safety preconditions do not hold.
+
+    This is the signal the blockability driver converts into a verdict:
+    a :class:`TransformError` means "a dependence-respecting compiler must
+    refuse here", which is data, not failure.
+    """
+
+
+class SemanticsError(ReproError):
+    """The IR interpreter hit an ill-formed program (unbound name, rank
+    mismatch, out-of-bounds subscript)."""
+
+
+class MachineError(ReproError):
+    """Invalid machine/cache configuration."""

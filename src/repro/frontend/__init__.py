@@ -1,0 +1,23 @@
+"""Fortran-subset front end.
+
+Parses the dialect every listing in the paper is written in — free-form
+DO loops (labeled ``DO 10 K = ...`` with shared ``CONTINUE`` terminators,
+or structured ``DO``/``ENDDO``), IF-THEN-ELSE, the ``IF (c) GOTO label``
+guard idiom (normalized to structured IF), declarations, intrinsic calls,
+and the Section 6 extensions ``BLOCK DO`` / ``IN ... DO`` / ``LAST()`` —
+into the :class:`repro.ir.Procedure` IR.
+
+>>> from repro.frontend import parse_procedure
+>>> proc = parse_procedure('''
+... SUBROUTINE DEMO(N)
+...   DOUBLE PRECISION A(N)
+...   DO 10 I = 1, N
+... 10   A(I) = A(I) + 1.0
+... END
+... ''')
+"""
+
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.parser import parse_procedure, parse_statements
+
+__all__ = ["Token", "parse_procedure", "parse_statements", "tokenize"]

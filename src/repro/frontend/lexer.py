@@ -1,0 +1,102 @@
+"""Tokenizer for the Fortran subset.
+
+Line-oriented: one statement per line (``&`` at end of line continues),
+``!`` starts a comment anywhere, a line whose first column is ``C`` or
+``*`` followed by whitespace is a whole-line comment (fixed-form style,
+which the paper's listings use).  Keywords and identifiers are
+case-insensitive and normalized to upper case.  An optional leading
+integer on a line is a statement *label*.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ParseError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<DOTOP>(?i:\.(?:EQ|NE|LT|LE|GT|GE|AND|OR|NOT|TRUE|FALSE)\.))
+  | (?P<FLOAT>(?:\d+\.\d*|\.\d+|\d+)(?:[EDed][+-]?\d+)|\d+\.\d*|\.\d+\b)
+  | (?P<INT>\d+)
+  | (?P<NAME>[A-Za-z][A-Za-z0-9_]*)
+  | (?P<OP>\*\*|==|/=|<=|>=|<|>|[-+*/(),=])
+  | (?P<WS>[ \t]+)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'NAME' | 'INT' | 'FLOAT' | 'OP' | 'DOTOP' | 'EOL'
+    text: str
+    line: int
+    col: int
+
+    def is_name(self, *names: str) -> bool:
+        return self.kind == "NAME" and self.text in names
+
+
+@dataclass
+class Line:
+    """One logical statement line: optional numeric label + tokens."""
+
+    label: Optional[str]
+    tokens: list[Token]
+    number: int
+
+
+def _strip_comment(raw: str) -> str:
+    # a ! outside any context starts a comment (no strings in this subset)
+    cut = raw.find("!")
+    return raw if cut < 0 else raw[:cut]
+
+
+def tokenize(source: str) -> list[Line]:
+    """Split source text into labeled token lines."""
+    logical: list[tuple[int, str]] = []
+    pending = ""
+    pending_line = 0
+    for ln, raw in enumerate(source.splitlines(), start=1):
+        if raw[:1] in ("C", "c", "*") and (len(raw) == 1 or raw[1] in " \t"):
+            continue  # fixed-form comment line
+        text = _strip_comment(raw).rstrip()
+        if not text.strip():
+            continue
+        if not pending:
+            pending_line = ln
+        if text.endswith("&"):
+            pending += text[:-1] + " "
+            continue
+        logical.append((pending_line if pending else ln, pending + text))
+        pending = ""
+    if pending:
+        logical.append((pending_line, pending))
+
+    lines: list[Line] = []
+    for ln, text in logical:
+        toks: list[Token] = []
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if m is None:
+                raise ParseError(f"unexpected character {text[pos]!r}", line=ln, col=pos)
+            pos = m.end()
+            kind = m.lastgroup
+            if kind == "WS":
+                continue
+            value = m.group()
+            if kind in ("NAME", "DOTOP"):
+                value = value.upper()
+            toks.append(Token(kind, value, ln, m.start()))
+        if not toks:
+            continue
+        label = None
+        if toks[0].kind == "INT" and len(toks) > 1:
+            label = toks[0].text
+            toks = toks[1:]
+        lines.append(Line(label, toks, ln))
+    return lines

@@ -1,0 +1,75 @@
+"""Tiny builder DSL for constructing IR nests in Python.
+
+The algorithm library (:mod:`repro.algorithms`) constructs every paper
+listing programmatically with these helpers, e.g. the Section 2.3 example::
+
+    do('J', 1, 'N',
+       do('I', 1, 'M',
+          assign(ref('A', 'I'), ref('A', 'I') + ref('B', 'J'))))
+
+Strings are variables; ints are constants.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.ir.expr import ArrayRef, Expr, ExprLike, Var, as_expr
+from repro.ir.stmt import Assign, BlockLoop, If, InLoop, Loop, Stmt
+
+
+def sym(name: str) -> Var:
+    """A symbolic scalar (problem size, blocking factor, temporary)."""
+    return Var(name)
+
+
+def ref(array: str, *index: ExprLike) -> ArrayRef:
+    """Array reference ``array(index...)`` with coercion of ints/strings."""
+    return ArrayRef(array, tuple(as_expr(i) for i in index))
+
+
+def assign(target: Union[ArrayRef, Var, str], value: ExprLike, label: str | None = None) -> Assign:
+    """Assignment; a string target is a scalar variable."""
+    if isinstance(target, str):
+        target = Var(target)
+    return Assign(target, as_expr(value), label=label)
+
+
+def do(
+    var: str,
+    lo: ExprLike,
+    hi: ExprLike,
+    *body: Stmt,
+    step: ExprLike = 1,
+    label: str | None = None,
+) -> Loop:
+    """``DO var = lo, hi [, step]`` with the body as trailing arguments."""
+    return Loop(var, as_expr(lo), as_expr(hi), tuple(body), step=as_expr(step), label=label)
+
+
+def block_do(var: str, lo: ExprLike, hi: ExprLike, *body: Stmt) -> BlockLoop:
+    """Section-6 ``BLOCK DO`` construct."""
+    return BlockLoop(var, as_expr(lo), as_expr(hi), tuple(body))
+
+
+def in_do(
+    block_var: str,
+    var: str,
+    *body: Stmt,
+    lo: ExprLike | None = None,
+    hi: ExprLike | None = None,
+) -> InLoop:
+    """Section-6 ``IN block_var DO var`` construct (bounds optional)."""
+    return InLoop(
+        block_var,
+        var,
+        tuple(body),
+        lo=None if lo is None else as_expr(lo),
+        hi=None if hi is None else as_expr(hi),
+    )
+
+
+def if_(cond: Expr, then: Sequence[Stmt] | Stmt, els: Sequence[Stmt] | Stmt = ()) -> If:
+    """Structured IF-THEN-ELSE."""
+    return If(cond, then if not isinstance(then, Stmt) else (then,),
+              els if not isinstance(els, Stmt) else (els,))

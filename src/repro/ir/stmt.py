@@ -1,0 +1,217 @@
+"""Statement and procedure nodes for the loop-nest IR.
+
+Statements are immutable; "mutation" is reconstruction, usually through
+:class:`repro.ir.visit.NodeTransformer`.  Bodies are tuples so that
+structural equality (``==``) works across whole procedures — the Figure-6 /
+Figure-8 / Figure-10 benchmarks rely on comparing compiler output against a
+hand-transcribed paper listing node-for-node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.ir.expr import ArrayRef, Const, Expr, Var, as_expr, ExprLike
+
+
+class Stmt:
+    """Base class for all statement nodes."""
+
+    __slots__ = ()
+
+
+def _as_body(body: Sequence[Stmt] | Stmt) -> tuple[Stmt, ...]:
+    if isinstance(body, Stmt):
+        return (body,)
+    return tuple(body)
+
+
+@dataclass(frozen=True, eq=True)
+class Assign(Stmt):
+    """``target = value``.  Target is an array element or a scalar."""
+
+    target: Union[ArrayRef, Var]
+    value: Expr
+    label: Optional[str] = None  # Fortran numeric label, kept for printing
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.target, (ArrayRef, Var)):
+            raise TypeError("Assign target must be ArrayRef or Var")
+
+
+@dataclass(frozen=True, eq=True)
+class Loop(Stmt):
+    """A Fortran DO loop: ``DO var = lo, hi, step`` with a structured body.
+
+    ``step`` defaults to 1.  Bounds are arbitrary expressions (MIN/MAX
+    compositions included), which is exactly what blocked code needs.
+    """
+
+    var: str
+    lo: Expr
+    hi: Expr
+    body: tuple[Stmt, ...]
+    step: Expr = Const(1)
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.var:
+            raise ValueError("Loop needs an induction variable name")
+        object.__setattr__(self, "body", _as_body(self.body))
+
+    def with_body(self, body: Sequence[Stmt] | Stmt) -> "Loop":
+        return replace(self, body=_as_body(body))
+
+    def with_bounds(
+        self,
+        lo: ExprLike | None = None,
+        hi: ExprLike | None = None,
+        step: ExprLike | None = None,
+    ) -> "Loop":
+        return replace(
+            self,
+            lo=self.lo if lo is None else as_expr(lo),
+            hi=self.hi if hi is None else as_expr(hi),
+            step=self.step if step is None else as_expr(step),
+        )
+
+
+@dataclass(frozen=True, eq=True)
+class BlockLoop(Stmt):
+    """Section-6 extension ``BLOCK DO var = lo, hi``.
+
+    The blocking factor is *not* written by the programmer — the compiler
+    chooses it during lowering (:mod:`repro.lang.lowering`).  ``LAST(var)``
+    inside the body refers to the last index of the current block.
+    """
+
+    var: str
+    lo: Expr
+    hi: Expr
+    body: tuple[Stmt, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", _as_body(self.body))
+
+
+@dataclass(frozen=True, eq=True)
+class InLoop(Stmt):
+    """Section-6 extension ``IN block_var DO var [= lo, hi]``.
+
+    Iterates over (a sub-range of) the block region established by the
+    matching :class:`BlockLoop` on ``block_var``.  When bounds are omitted
+    they default to the whole current block with step 1.
+    """
+
+    block_var: str
+    var: str
+    body: tuple[Stmt, ...]
+    lo: Optional[Expr] = None
+    hi: Optional[Expr] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", _as_body(self.body))
+
+
+@dataclass(frozen=True, eq=True)
+class If(Stmt):
+    """Structured IF-THEN[-ELSE].
+
+    The front end normalizes the paper's ``IF (cond) GOTO label`` guard
+    idiom (a conditional skip of the rest of the loop body) into this form,
+    so analyses and transformations never see gotos.
+    """
+
+    cond: Expr
+    then: tuple[Stmt, ...]
+    els: tuple[Stmt, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "then", _as_body(self.then))
+        object.__setattr__(self, "els", _as_body(self.els))
+
+
+@dataclass(frozen=True, eq=True)
+class Comment(Stmt):
+    """Pretty-printing aid; semantically inert."""
+
+    text: str
+
+
+@dataclass(frozen=True, eq=True)
+class ArrayDecl:
+    """Array declaration: symbolic shape (column-major), element dtype.
+
+    ``dims`` entries are expressions in the procedure's symbolic parameters,
+    e.g. ``(Var('N'), Var('N'))``.  ``dtype`` is ``'f8'`` (DOUBLE PRECISION)
+    or ``'f4'`` (REAL) or ``'i8'`` (INTEGER work arrays for IF-inspection).
+    """
+
+    name: str
+    dims: tuple[Expr, ...]
+    dtype: str = "f8"
+
+    def __post_init__(self) -> None:
+        if self.dtype not in ("f8", "f4", "i8"):
+            raise ValueError(f"unsupported dtype {self.dtype!r}")
+        object.__setattr__(self, "dims", tuple(as_expr(d) for d in self.dims))
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def itemsize(self) -> int:
+        return {"f8": 8, "f4": 4, "i8": 8}[self.dtype]
+
+
+@dataclass(frozen=True, eq=True)
+class Procedure:
+    """A whole kernel: parameters, array declarations, body.
+
+    ``params`` are the integer symbolic inputs (problem sizes, blocking
+    factors); ``arrays`` maps name -> :class:`ArrayDecl`; scalars referenced
+    but not declared are procedure-local temporaries (TAU, DEN, C, S, ...).
+    """
+
+    name: str
+    params: tuple[str, ...]
+    arrays: tuple[ArrayDecl, ...]
+    body: tuple[Stmt, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", tuple(self.params))
+        object.__setattr__(self, "arrays", tuple(self.arrays))
+        object.__setattr__(self, "body", _as_body(self.body))
+        names = [a.name for a in self.arrays]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate array declaration")
+
+    def array(self, name: str) -> ArrayDecl:
+        for a in self.arrays:
+            if a.name == name:
+                return a
+        raise KeyError(name)
+
+    @property
+    def array_names(self) -> frozenset[str]:
+        return frozenset(a.name for a in self.arrays)
+
+    def with_body(self, body: Sequence[Stmt] | Stmt) -> "Procedure":
+        return replace(self, body=_as_body(body))
+
+    def with_arrays(self, arrays: Iterable[ArrayDecl]) -> "Procedure":
+        return replace(self, arrays=tuple(arrays))
+
+    def adding_arrays(self, *new: ArrayDecl) -> "Procedure":
+        existing = {a.name for a in self.arrays}
+        added = [a for a in new if a.name not in existing]
+        return self.with_arrays(self.arrays + tuple(added))
+
+    def adding_params(self, *new: str) -> "Procedure":
+        merged = list(self.params)
+        for p in new:
+            if p not in merged:
+                merged.append(p)
+        return replace(self, params=tuple(merged))

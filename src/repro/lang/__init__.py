@@ -1,0 +1,17 @@
+"""Section 6 language extensions: ``BLOCK DO`` / ``IN DO`` / ``LAST``.
+
+For algorithms that are *not* compiler-blockable (block Householder QR),
+the paper proposes letting the programmer write the block algorithm in a
+machine-independent form: ``BLOCK DO`` declares a loop whose blocking
+factor the *compiler* chooses, ``IN <var> DO`` iterates over the current
+block's region, and ``LAST(<var>)`` names the block's last index.
+
+:func:`repro.lang.lowering.lower_extensions` turns these constructs into
+concrete blocked DO loops, choosing the factor from a machine model's
+effective cache capacity when one is given (Fig. 11 lowers to exactly the
+Fig. 6 block LU).
+"""
+
+from repro.lang.lowering import choose_factor, lower_extensions
+
+__all__ = ["choose_factor", "lower_extensions"]

@@ -1,0 +1,150 @@
+"""Set-associative LRU cache simulator.
+
+Deliberately minimal and fast: one ``access(addr, is_write)`` per element
+touch, tags held in per-set Python lists with move-to-front LRU.  Geometry
+is validated up front (:class:`repro.errors.MachineError` on nonsense), and
+the write policy is write-back / write-allocate — the policy of the
+RS/6000's data cache and of essentially every machine the paper targets.
+
+The simulator is exact for the properties the reproduction needs:
+
+- miss counts for a given trace (the quantity behind every speedup table);
+- dirty-eviction (write-back) counts, reported but not charged by default;
+- an LRU stack property: a larger cache with identical line size and
+  full associativity never misses more on the same trace (tested in
+  ``tests/machine/test_cache_properties.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineError
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Cache geometry.
+
+    ``assoc=0`` means fully associative.  ``size_bytes`` and ``line_bytes``
+    must be powers of two (address-splitting uses shifts/masks).
+    """
+
+    size_bytes: int
+    line_bytes: int
+    assoc: int = 4
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.size_bytes) or not _is_pow2(self.line_bytes):
+            raise MachineError("cache size and line size must be powers of two")
+        if self.line_bytes > self.size_bytes:
+            raise MachineError("line larger than cache")
+        n_lines = self.size_bytes // self.line_bytes
+        if self.assoc < 0 or (self.assoc and self.assoc > n_lines):
+            raise MachineError("bad associativity")
+        if self.assoc and n_lines % self.assoc != 0:
+            raise MachineError("line count not divisible by associativity")
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        return 1 if self.assoc == 0 else self.n_lines // self.assoc
+
+    @property
+    def ways(self) -> int:
+        return self.n_lines if self.assoc == 0 else self.assoc
+
+    def describe(self) -> str:
+        a = "fully-assoc" if self.assoc == 0 else f"{self.assoc}-way"
+        return f"{self.size_bytes // 1024}KB, {self.line_bytes}B lines, {a}"
+
+
+@dataclass
+class CacheStats:
+    """Running counters; ``miss_ratio`` guards against empty traces."""
+
+    accesses: int = 0
+    misses: int = 0
+    reads: int = 0
+    writes: int = 0
+    writebacks: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.accesses + other.accesses,
+            self.misses + other.misses,
+            self.reads + other.reads,
+            self.writes + other.writes,
+            self.writebacks + other.writebacks,
+        )
+
+
+class Cache:
+    """Trace-driven cache with LRU replacement.
+
+    Per-set state is an insertion-ordered dict mapping resident line tags
+    to their dirty bit; the most recently used tag sits at the *end*, so
+    both the hit path (delete + reinsert) and the eviction path (pop the
+    first key) are O(1) — fully associative configurations (the TLB model)
+    stay fast.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.stats = CacheStats()
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._n_sets = config.n_sets
+        self._ways = config.ways
+        self._sets: list[dict[int, bool]] = [{} for _ in range(self._n_sets)]
+
+    def reset(self) -> None:
+        """Clear contents and statistics."""
+        self.stats = CacheStats()
+        self._sets = [{} for _ in range(self._n_sets)]
+
+    def access(self, addr: int, is_write: bool = False) -> bool:
+        """Touch one byte address; returns True on hit."""
+        line = addr >> self._line_shift
+        ways = self._sets[line % self._n_sets]
+        st = self.stats
+        st.accesses += 1
+        if is_write:
+            st.writes += 1
+        else:
+            st.reads += 1
+        if line in ways:
+            dirty = ways.pop(line)  # move to MRU (end)
+            ways[line] = dirty or is_write
+            return True
+        # miss: allocate (write-allocate policy), maybe evict LRU
+        st.misses += 1
+        if len(ways) >= self._ways:
+            victim = next(iter(ways))
+            if ways.pop(victim):
+                st.writebacks += 1
+        ways[line] = is_write
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Non-mutating lookup (no LRU update, no counters)."""
+        line = addr >> self._line_shift
+        return line in self._sets[line % self._n_sets]
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(w) for w in self._sets)

@@ -1,0 +1,70 @@
+"""Glue between the runtime's trace hook and the cache simulator."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.ir.stmt import Procedure
+from repro.machine.cache import Cache, CacheStats
+from repro.machine.layout import Layout
+from repro.machine.model import MachineModel
+
+
+class CacheTracer:
+    """A :class:`repro.runtime.Tracer` that feeds a :class:`Cache` (and
+    optionally a TLB, modeled as a second cache whose line is the page).
+
+    Every (array, 1-based index, is_write) event is mapped through a
+    :class:`Layout` to a byte address and driven through both.  Per-array
+    access counts are kept for the locality breakdowns some benchmark
+    tables print.
+    """
+
+    def __init__(self, layout: Layout, cache: Cache, tlb: Optional[Cache] = None):
+        self.layout = layout
+        self.cache = cache
+        self.tlb = tlb
+        self.per_array: dict[str, int] = {}
+        self.per_array_misses: dict[str, int] = {}
+
+    def access(self, array: str, index: tuple[int, ...], is_write: bool) -> None:
+        addr = self.layout.address(array, index)
+        hit = self.cache.access(addr, is_write)
+        if self.tlb is not None:
+            self.tlb.access(addr, False)
+        self.per_array[array] = self.per_array.get(array, 0) + 1
+        if not hit:
+            self.per_array_misses[array] = self.per_array_misses.get(array, 0) + 1
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+    @property
+    def tlb_stats(self) -> Optional[CacheStats]:
+        return self.tlb.stats if self.tlb is not None else None
+
+
+def trace_procedure(
+    proc: Procedure,
+    sizes: Mapping[str, int],
+    machine: MachineModel,
+    arrays: Optional[Mapping] = None,
+    seed: int = 0,
+    dtype_override: str | None = None,
+) -> CacheTracer:
+    """Run ``proc`` (compiled, traced) against ``machine``'s cache.
+
+    Returns the tracer; ``tracer.stats`` has the miss counts and
+    ``machine.cost.seconds(tracer.stats)`` the modeled time.
+    """
+    from repro.runtime.codegen import compile_procedure
+
+    layout = Layout.for_procedure(
+        proc, sizes, line_bytes=machine.cache.line_bytes, dtype_override=dtype_override
+    )
+    tlb = Cache(machine.tlb) if machine.tlb is not None else None
+    tracer = CacheTracer(layout, Cache(machine.cache), tlb)
+    runner = compile_procedure(proc, traced=True)
+    runner(sizes, arrays=arrays, tracer=tracer, seed=seed)
+    return tracer

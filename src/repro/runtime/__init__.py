@@ -1,0 +1,32 @@
+"""Execution substrate for the loop IR.
+
+Two engines with identical semantics:
+
+- :mod:`repro.runtime.interpreter` — a tree-walking reference interpreter
+  (slow, simple, obviously correct) with a per-access trace hook used by the
+  cache simulator;
+- :mod:`repro.runtime.codegen` — compiles a :class:`repro.ir.Procedure` to a
+  Python function (optionally traced) for the benchmark harness, typically
+  ~20x faster than the interpreter.
+
+Both use Fortran semantics: 1-based subscripts, column-major layout
+(numpy ``order='F'``), DO-loop trip counts computed once at loop entry.
+
+:mod:`repro.runtime.validate` runs original and transformed procedures on
+the same random inputs and asserts (near-)equality — the property every
+transformation in this package must preserve.
+"""
+
+from repro.runtime.codegen import compile_procedure, generate_source
+from repro.runtime.interpreter import Interpreter, execute, make_env
+from repro.runtime.validate import assert_equivalent, run_on_random
+
+__all__ = [
+    "Interpreter",
+    "assert_equivalent",
+    "compile_procedure",
+    "execute",
+    "generate_source",
+    "make_env",
+    "run_on_random",
+]

@@ -1,0 +1,227 @@
+"""Compile loop IR to Python functions.
+
+The generated code is a faithful transliteration of the Fortran semantics —
+1-based subscripts become 0-based numpy indexing, ``DO`` becomes ``range``
+(bounds evaluated once, zero-trip legal), integer division truncates toward
+zero — in two flavours:
+
+- **plain**: direct numpy element indexing, used for wall-clock timing;
+- **traced**: every load/store is routed through ``_ld``/``_st`` callbacks
+  so a cache simulator can observe the exact element-touch sequence the
+  equivalent Fortran program would issue.
+
+The interpreter (:mod:`repro.runtime.interpreter`) defines the semantics;
+the test suite cross-checks the two engines statement-for-statement on every
+algorithm in the repository.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import SemanticsError
+from repro.ir.expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    IntDiv,
+    LogicalOp,
+    Max,
+    Min,
+    Not,
+    Var,
+)
+from repro.ir.stmt import Assign, BlockLoop, Comment, If, InLoop, Loop, Procedure
+from repro.runtime.interpreter import Tracer, idiv, make_env
+
+_PY_CMP = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+_INTRINSIC_NAMES = {
+    "SQRT": "_sqrt",
+    "DSQRT": "_sqrt",
+    "ABS": "abs",
+    "DABS": "abs",
+    "DBLE": "float",
+    "REAL": "float",
+    "INT": "int",
+    "MOD": "_mod",
+}
+
+
+def _div(a, b):
+    """Fortran '/': integer division when both operands are integers."""
+    if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+        return idiv(int(a), int(b))
+    return a / b
+
+
+def _mod(a, b):
+    if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+        return int(a) - idiv(int(a), int(b)) * int(b)
+    return math.fmod(a, b)
+
+
+class _ExprGen:
+    def __init__(self, traced: bool):
+        self.traced = traced
+
+    def gen(self, e: Expr) -> str:
+        if isinstance(e, Const):
+            return repr(e.value)
+        if isinstance(e, Var):
+            return e.name
+        if isinstance(e, ArrayRef):
+            if self.traced:
+                idx = ", ".join(self.gen(i) for i in e.index)
+                return f"_ld('{e.array}', ({idx},))"
+            idx = ", ".join(f"{self.gen(i)} - 1" for i in e.index)
+            return f"{e.array}[{idx}]"
+        if isinstance(e, BinOp):
+            l, r = self.gen(e.left), self.gen(e.right)
+            if e.op == "/":
+                return f"_div({l}, {r})"
+            return f"({l} {e.op} {r})"
+        if isinstance(e, IntDiv):
+            return f"_idiv({self.gen(e.left)}, {self.gen(e.right)})"
+        if isinstance(e, Min):
+            return f"min({', '.join(self.gen(a) for a in e.args)})"
+        if isinstance(e, Max):
+            return f"max({', '.join(self.gen(a) for a in e.args)})"
+        if isinstance(e, Call):
+            name = _INTRINSIC_NAMES.get(e.name.upper())
+            if name is None:
+                raise SemanticsError(f"unknown intrinsic {e.name}")
+            return f"{name}({', '.join(self.gen(a) for a in e.args)})"
+        if isinstance(e, Compare):
+            return f"({self.gen(e.left)} {_PY_CMP[e.op]} {self.gen(e.right)})"
+        if isinstance(e, LogicalOp):
+            joiner = " and " if e.op == "and" else " or "
+            return "(" + joiner.join(self.gen(a) for a in e.args) + ")"
+        if isinstance(e, Not):
+            return f"(not {self.gen(e.arg)})"
+        raise SemanticsError(f"unknown expression {type(e).__name__}")  # pragma: no cover
+
+
+def _gen_body(body, gen: _ExprGen, lines: list[str], depth: int) -> None:
+    pad = "    " * depth
+    if not body:
+        lines.append(pad + "pass")
+        return
+    emitted = False
+    for stmt in body:
+        if isinstance(stmt, Comment):
+            lines.append(pad + f"# {stmt.text}")
+            continue
+        emitted = True
+        if isinstance(stmt, Assign):
+            rhs = gen.gen(stmt.value)
+            if isinstance(stmt.target, ArrayRef):
+                if gen.traced:
+                    idx = ", ".join(gen.gen(i) for i in stmt.target.index)
+                    lines.append(pad + f"_st('{stmt.target.array}', ({idx},), {rhs})")
+                else:
+                    idx = ", ".join(f"{gen.gen(i)} - 1" for i in stmt.target.index)
+                    lines.append(pad + f"{stmt.target.array}[{idx}] = {rhs}")
+            else:
+                lines.append(pad + f"{stmt.target.name} = {rhs}")
+        elif isinstance(stmt, Loop):
+            lo, hi, step = gen.gen(stmt.lo), gen.gen(stmt.hi), gen.gen(stmt.step)
+            if stmt.step == Const(1):
+                rng = f"range({lo}, {hi} + 1)"
+            else:
+                # Fortran trip count: works for negative steps too because
+                # range() stops before crossing the bound in step direction.
+                rng = f"range({lo}, {hi} + (1 if ({step}) > 0 else -1), {step})"
+            lines.append(pad + f"for {stmt.var} in {rng}:")
+            _gen_body(stmt.body, gen, lines, depth + 1)
+        elif isinstance(stmt, If):
+            lines.append(pad + f"if {gen.gen(stmt.cond)}:")
+            _gen_body(stmt.then, gen, lines, depth + 1)
+            if stmt.els:
+                lines.append(pad + "else:")
+                _gen_body(stmt.els, gen, lines, depth + 1)
+        elif isinstance(stmt, (BlockLoop, InLoop)):
+            raise SemanticsError("BLOCK DO / IN DO must be lowered before codegen")
+        else:  # pragma: no cover - defensive
+            raise SemanticsError(f"unknown statement {type(stmt).__name__}")
+    if not emitted:
+        lines.append(pad + "pass")
+
+
+def generate_source(proc: Procedure, traced: bool = False) -> str:
+    """Python source text for ``proc`` as a function ``_kernel(...)``.
+
+    Parameters come first, then arrays in declaration order; traced mode
+    additionally takes the ``_ld``/``_st`` callbacks.
+    """
+    args = list(proc.params) + [a.name for a in proc.arrays]
+    if traced:
+        args += ["_ld", "_st"]
+    gen = _ExprGen(traced)
+    lines = [f"def _kernel({', '.join(args)}):"]
+    _gen_body(proc.body, gen, lines, 1)
+    return "\n".join(lines) + "\n"
+
+
+def compile_procedure(proc: Procedure, traced: bool = False) -> Callable:
+    """Compile ``proc``; returns ``run(sizes, arrays=None, tracer=None, seed=0)``.
+
+    The returned runner builds a fresh environment per call (fresh copies of
+    any supplied arrays, Fortran order) and returns the final environment
+    dict, mirroring :func:`repro.runtime.interpreter.execute` exactly.
+    """
+    src = generate_source(proc, traced=traced)
+    namespace: dict = {
+        "_idiv": idiv,
+        "_div": _div,
+        "_mod": _mod,
+        "_sqrt": math.sqrt,
+        "np": np,
+    }
+    code = compile(src, f"<repro:{proc.name}>", "exec")
+    exec(code, namespace)
+    kernel = namespace["_kernel"]
+
+    def run(
+        sizes: Mapping[str, int],
+        arrays: Optional[Mapping[str, np.ndarray]] = None,
+        tracer: Optional[Tracer] = None,
+        seed: int = 0,
+    ) -> dict:
+        env = make_env(proc, sizes, arrays, seed=seed)
+        call = [env[p] for p in proc.params] + [env[a.name] for a in proc.arrays]
+        if traced:
+            data = {a.name: env[a.name] for a in proc.arrays}
+            if tracer is None:
+
+                def _ld(name, idx):
+                    return data[name][tuple(i - 1 for i in idx)]
+
+                def _st(name, idx, value):
+                    data[name][tuple(i - 1 for i in idx)] = value
+
+            else:
+                trace = tracer.access
+
+                def _ld(name, idx):
+                    trace(name, idx, False)
+                    return data[name][tuple(i - 1 for i in idx)]
+
+                def _st(name, idx, value):
+                    trace(name, idx, True)
+                    data[name][tuple(i - 1 for i in idx)] = value
+
+            call += [_ld, _st]
+        elif tracer is not None:
+            raise ValueError("tracer requires traced=True compilation")
+        kernel(*call)
+        return env
+
+    run.source = src  # type: ignore[attr-defined]
+    return run

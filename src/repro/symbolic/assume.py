@@ -1,0 +1,209 @@
+"""Inequality assumptions and sign decisions over affine forms.
+
+The transformations need a small number of *decidable* questions answered
+under a context of facts such as ``1 <= KS``, ``KS <= N`` or
+``K <= N - 1``:
+
+- is ``e >= 0`` / ``e > 0`` / ``e == 0``?
+- compare two loop bounds; prune MIN/MAX arms.
+- is one array section contained in / disjoint from another?
+
+The engine keeps, per variable, a set of affine *lower* and *upper* bounds
+and decides the sign of a target affine form by recursively substituting
+bounds for variables (choosing a lower or upper bound according to the sign
+of the coefficient) until a constant candidate emerges.  This is a bounded,
+sound-but-incomplete procedure: ``None`` answers mean "unknown", and every
+caller treats unknown conservatively.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Optional
+
+from repro.ir.expr import Expr
+from repro.symbolic.affine import Affine, to_affine
+
+_MAX_DEPTH = 5
+
+
+class Assumptions:
+    """A conjunction of affine inequalities usable as a decision context.
+
+    Facts are added with :meth:`assume_ge` / :meth:`assume_le` /
+    :meth:`assume_range`; arbitrary affine facts ``aff >= 0`` that mention
+    several variables are stored as bounds on each mentioned variable
+    (``c·v >= -rest`` ⇒ a bound on ``v``), which the recursive substitution
+    can then chain through.
+    """
+
+    def __init__(self) -> None:
+        self._lo: dict[str, list[Affine]] = {}
+        self._hi: dict[str, list[Affine]] = {}
+
+    # ---- building the context -------------------------------------------
+    def copy(self) -> "Assumptions":
+        out = Assumptions()
+        out._lo = {k: list(v) for k, v in self._lo.items()}
+        out._hi = {k: list(v) for k, v in self._hi.items()}
+        return out
+
+    def _coerce(self, e) -> Optional[Affine]:
+        if isinstance(e, Affine):
+            return e
+        if isinstance(e, (int, Fraction)):
+            return Affine.constant(e)
+        if isinstance(e, str):
+            return Affine.variable(e)
+        if isinstance(e, Expr):
+            return to_affine(e)
+        return None
+
+    def assume_ge(self, left, right) -> "Assumptions":
+        """Record the fact ``left >= right``. Returns self for chaining."""
+        l, r = self._coerce(left), self._coerce(right)
+        if l is None or r is None:
+            return self  # non-affine facts are simply unusable, not errors
+        self._add_fact(l - r)
+        return self
+
+    def assume_le(self, left, right) -> "Assumptions":
+        """Record the fact ``left <= right``."""
+        return self.assume_ge(right, left)
+
+    def assume_range(self, var: str, lo=None, hi=None) -> "Assumptions":
+        """Record ``lo <= var <= hi`` (either side optional)."""
+        if lo is not None:
+            self.assume_ge(var, lo)
+        if hi is not None:
+            self.assume_le(var, hi)
+        return self
+
+    def _add_fact(self, aff: Affine) -> None:
+        """Store ``aff >= 0`` as a bound on each variable it mentions."""
+        if aff.is_constant:
+            return
+        for name, coeff in aff.coeffs:
+            rest = aff - Affine.make({name: coeff})
+            if coeff > 0:
+                # name >= -rest / coeff
+                bound = -rest * Fraction(1, 1) * (Fraction(1) / coeff)
+                self._lo.setdefault(name, [])
+                if bound not in self._lo[name]:
+                    self._lo[name].append(bound)
+            else:
+                # name <= rest / (-coeff)
+                bound = rest * (Fraction(1) / (-coeff))
+                self._hi.setdefault(name, [])
+                if bound not in self._hi[name]:
+                    self._hi[name].append(bound)
+
+    # ---- decisions --------------------------------------------------------
+    def _const_bounds(self, aff: Affine, want_upper: bool, depth: int, seen: frozenset[str]) -> list[Fraction]:
+        """Constant candidates bounding ``aff`` from above (or below)."""
+        if aff.is_constant:
+            return [aff.const]
+        if depth <= 0:
+            return []
+        # Pick the first variable and substitute each applicable bound.
+        name, coeff = aff.coeffs[0]
+        if name in seen:
+            return []
+        want_var_upper = (coeff > 0) == want_upper
+        candidates = (self._hi if want_var_upper else self._lo).get(name, [])
+        out: list[Fraction] = []
+        rest = aff - Affine.make({name: coeff})
+        for bound in candidates:
+            substituted = rest + bound * coeff
+            out.extend(
+                self._const_bounds(substituted, want_upper, depth - 1, seen | {name})
+            )
+        return out
+
+    def lower_bound(self, e) -> Optional[Fraction]:
+        """Best provable constant lower bound, or None."""
+        aff = self._coerce(e)
+        if aff is None:
+            return None
+        vals = self._const_bounds(aff, want_upper=False, depth=_MAX_DEPTH, seen=frozenset())
+        return max(vals) if vals else None
+
+    def upper_bound(self, e) -> Optional[Fraction]:
+        """Best provable constant upper bound, or None."""
+        aff = self._coerce(e)
+        if aff is None:
+            return None
+        vals = self._const_bounds(aff, want_upper=True, depth=_MAX_DEPTH, seen=frozenset())
+        return min(vals) if vals else None
+
+    def is_nonneg(self, e) -> Optional[bool]:
+        """True if provably >= 0, False if provably < 0, else None."""
+        lb = self.lower_bound(e)
+        if lb is not None and lb >= 0:
+            return True
+        ub = self.upper_bound(e)
+        if ub is not None and ub < 0:
+            return False
+        return None
+
+    def is_pos(self, e) -> Optional[bool]:
+        lb = self.lower_bound(e)
+        if lb is not None and lb > 0:
+            return True
+        ub = self.upper_bound(e)
+        if ub is not None and ub <= 0:
+            return False
+        return None
+
+    def is_zero(self, e) -> Optional[bool]:
+        aff = self._coerce(e)
+        if aff is None:
+            return None
+        if aff.is_constant:
+            return aff.const == 0
+        lb, ub = self.lower_bound(aff), self.upper_bound(aff)
+        if lb is not None and ub is not None and lb == ub == 0:
+            return True
+        if (lb is not None and lb > 0) or (ub is not None and ub < 0):
+            return False
+        return None
+
+    def compare(self, left, right) -> Optional[str]:
+        """Relate two affine quantities: one of '<', '<=', '==', '>=', '>',
+        or None when undecidable.  The strongest provable relation wins."""
+        l, r = self._coerce(left), self._coerce(right)
+        if l is None or r is None:
+            return None
+        d = l - r
+        if d.is_constant:
+            if d.const == 0:
+                return "=="
+            return "<" if d.const < 0 else ">"
+        lb, ub = self.lower_bound(d), self.upper_bound(d)
+        if lb is not None and lb > 0:
+            return ">"
+        if lb is not None and lb >= 0:
+            return ">="
+        if ub is not None and ub < 0:
+            return "<"
+        if ub is not None and ub <= 0:
+            return "<="
+        return None
+
+    def implies_le(self, left, right) -> bool:
+        """Convenience: is ``left <= right`` provable?"""
+        rel = self.compare(left, right)
+        return rel in ("<", "<=", "==")
+
+    def implies_lt(self, left, right) -> bool:
+        return self.compare(left, right) == "<"
+
+    # ---- common contexts ---------------------------------------------------
+    @staticmethod
+    def for_loop_nest(bounds: Iterable[tuple[str, object, object]]) -> "Assumptions":
+        """Context asserting ``lo <= var <= hi`` for each (var, lo, hi);
+        non-affine bounds are skipped."""
+        ctx = Assumptions()
+        for var, lo, hi in bounds:
+            ctx.assume_range(var, lo, hi)
+        return ctx

@@ -1,0 +1,233 @@
+"""Expression simplification.
+
+Normalizes arithmetic to tidy affine form where possible (so compiler
+output prints like the paper's listings: ``I + IS - 1`` not
+``(I + (IS - 1))``) and prunes MIN/MAX arms that an assumption context
+proves redundant — e.g. after strip mining the driver can prove
+``MIN(K + KS - 1, N - 1)`` keeps both arms, but ``MIN(N, N + 5)``
+collapses to ``N``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    IntDiv,
+    LogicalOp,
+    Max,
+    Min,
+    Not,
+    smax,
+    smin,
+)
+from repro.symbolic.affine import from_affine, to_affine
+from repro.symbolic.assume import Assumptions
+
+_EMPTY = Assumptions()
+
+
+def prove_le(a: Expr, b: Expr, ctx: Optional[Assumptions] = None) -> bool:
+    """Is ``a <= b`` provable?  MIN/MAX-aware:
+
+    - ``a <= MIN(args)``  iff  a <= every arm;
+    - ``a <= MAX(args)``  if   a <= some arm;
+    - ``MIN(args) <= b``  if   some arm <= b;
+    - ``MAX(args) <= b``  iff  every arm <= b;
+
+    with the affine comparison of the assumption context at the leaves.
+    False means "not provable", not "false".
+    """
+    ctx = ctx or _EMPTY
+    if isinstance(b, Min):
+        return all(prove_le(a, arm, ctx) for arm in b.args)
+    if isinstance(a, Max):
+        return all(prove_le(arm, b, ctx) for arm in a.args)
+    if isinstance(b, Max):
+        if any(prove_le(a, arm, ctx) for arm in b.args):
+            return True
+    if isinstance(a, Min):
+        if any(prove_le(arm, b, ctx) for arm in a.args):
+            return True
+    return ctx.compare(a, b) in ("<", "<=", "==")
+
+
+def prove_lt(a: Expr, b: Expr, ctx: Optional[Assumptions] = None) -> bool:
+    """Strict variant of :func:`prove_le` (same structural rules)."""
+    ctx = ctx or _EMPTY
+    if isinstance(b, Min):
+        return all(prove_lt(a, arm, ctx) for arm in b.args)
+    if isinstance(a, Max):
+        return all(prove_lt(arm, b, ctx) for arm in a.args)
+    if isinstance(b, Max):
+        if any(prove_lt(a, arm, ctx) for arm in b.args):
+            return True
+    if isinstance(a, Min):
+        if any(prove_lt(arm, b, ctx) for arm in a.args):
+            return True
+    return ctx.compare(a, b) == "<"
+
+
+def prove_eq(a: Expr, b: Expr, ctx: Optional[Assumptions] = None) -> bool:
+    ctx = ctx or _EMPTY
+    if ctx.compare(a, b) == "==":
+        return True
+    return prove_le(a, b, ctx) and prove_le(b, a, ctx)
+
+
+def simplify(e: Expr, ctx: Optional[Assumptions] = None) -> Expr:
+    """Bottom-up simplification; ``ctx`` supplies inequality facts."""
+    ctx = ctx or _EMPTY
+    return _simp(e, ctx)
+
+
+def _simp(e: Expr, ctx: Assumptions) -> Expr:
+    if isinstance(e, (Const,)):
+        return e
+    if isinstance(e, ArrayRef):
+        return ArrayRef(e.array, tuple(_simp(i, ctx) for i in e.index))
+    if isinstance(e, BinOp):
+        l, r = _simp(e.left, ctx), _simp(e.right, ctx)
+        dist = _distribute_minmax(e.op, l, r, ctx)
+        if dist is not None:
+            return dist
+        rebuilt = BinOp(e.op, l, r)
+        aff = to_affine(rebuilt)
+        if aff is not None and aff.is_integral():
+            return from_affine(aff)
+        return rebuilt
+    if isinstance(e, IntDiv):
+        l, r = _simp(e.left, ctx), _simp(e.right, ctx)
+        if isinstance(r, Const) and r.value == 1:
+            return l
+        if (
+            isinstance(l, (Min, Max))
+            and isinstance(r, Const)
+            and isinstance(r.value, int)
+            and r.value > 0
+        ):
+            # floor division by a positive constant is monotone
+            node = Min if isinstance(l, Min) else Max
+            return _simp(node(tuple(IntDiv(a, r) for a in l.args)), ctx)
+        rebuilt = IntDiv(l, r)
+        aff = to_affine(rebuilt)  # exact-division case folds away
+        if aff is not None and aff.is_integral():
+            return from_affine(aff)
+        return rebuilt
+    if isinstance(e, (Min, Max)):
+        is_min = isinstance(e, Min)
+        args = [_simp(a, ctx) for a in e.args]
+        # flatten through smart constructor first
+        folded = smin(*args) if is_min else smax(*args)
+        if not isinstance(folded, (Min, Max)):
+            return folded
+        kept: list[Expr] = []
+        for a in folded.args:
+            dominated = False
+            for b in folded.args:
+                if a is b:
+                    continue
+                # MIN: drop a when b <= a always (b decides); MAX: drop a
+                # when a <= b always.  When both directions hold (provably
+                # equal) keep only the textually earlier arm.
+                le = prove_le(b, a, ctx) if is_min else prove_le(a, b, ctx)
+                if not le:
+                    continue
+                ge = prove_le(a, b, ctx) if is_min else prove_le(b, a, ctx)
+                if not ge or _before(b, a, kept, folded.args):
+                    dominated = True
+                    break
+            if not dominated and a not in kept:
+                kept.append(a)
+        if len(kept) == 1:
+            return kept[0]
+        if not kept:  # pragma: no cover - all-equal degenerate case
+            return folded.args[0]
+        return Min(tuple(kept)) if is_min else Max(tuple(kept))
+    if isinstance(e, Call):
+        return Call(e.name, tuple(_simp(a, ctx) for a in e.args))
+    if isinstance(e, Compare):
+        l, r = _simp(e.left, ctx), _simp(e.right, ctx)
+        return Compare(e.op, l, r)
+    if isinstance(e, LogicalOp):
+        return LogicalOp(e.op, tuple(_simp(a, ctx) for a in e.args))
+    if isinstance(e, Not):
+        a = _simp(e.arg, ctx)
+        if isinstance(a, Compare):
+            return a.negate()
+        if isinstance(a, Not):
+            return a.arg
+        return Not(a)
+    # Var and anything untouched
+    aff = to_affine(e)
+    if aff is not None and aff.is_integral():
+        return from_affine(aff)
+    return e
+
+
+def _before(b: Expr, a: Expr, kept: list[Expr], order: tuple[Expr, ...]) -> bool:
+    """Tie-break equal arms: keep the earlier one in the original order."""
+    return order.index(b) < order.index(a)
+
+
+def _distribute_minmax(op: str, l: Expr, r: Expr, ctx: Assumptions) -> Optional[Expr]:
+    """Float MIN/MAX to the top of bound arithmetic.
+
+    ``MIN(a,b) + x -> MIN(a+x, b+x)`` and friends, so every bound is a
+    MIN/MAX *of affine arms* and the inequality prover can reason arm-wise.
+    Returns None when no rule applies.
+    """
+    if op in ("+", "-"):
+        if isinstance(l, (Min, Max)):
+            node = type(l)
+            return _simp(node(tuple(BinOp(op, a, r) for a in l.args)), ctx)
+        if isinstance(r, (Min, Max)):
+            if op == "+":
+                node = type(r)
+            else:  # x - MIN(..) == MAX(x - ..), x - MAX(..) == MIN(x - ..)
+                node = Max if isinstance(r, Min) else Min
+            return _simp(node(tuple(BinOp(op, l, a) for a in r.args)), ctx)
+    elif op == "*":
+        for mm, c in ((l, r), (r, l)):
+            if isinstance(mm, (Min, Max)) and isinstance(c, Const) and isinstance(c.value, int):
+                if c.value > 0:
+                    node = type(mm)
+                elif c.value < 0:
+                    node = Max if isinstance(mm, Min) else Min
+                else:
+                    return Const(0)
+                return _simp(node(tuple(BinOp("*", c, a) for a in mm.args)), ctx)
+    return None
+
+
+def simplify_procedure(proc, ctx: Optional[Assumptions] = None):
+    """Normalize every expression in a procedure (or statement body).
+
+    Canonicalizes affine arithmetic so that structurally different but
+    equal bound/subscript spellings (``N - 1`` vs ``N + (-1)``) compare
+    equal — used when matching parsed listings against built or derived
+    IR.
+    """
+    from repro.ir.stmt import Procedure, Stmt
+    from repro.ir.visit import NodeTransformer
+
+    ctx = ctx or _EMPTY
+
+    class _Simplifier(NodeTransformer):
+        rewrite_exprs = True
+
+        def visit_expr(self, e: Expr) -> Expr:
+            return simplify(e, ctx)
+
+    s = _Simplifier()
+    if isinstance(proc, Procedure):
+        return s.transform_procedure(proc)
+    if isinstance(proc, Stmt):
+        return s.visit_body((proc,))[0]
+    return s.visit_body(tuple(proc))

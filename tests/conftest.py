@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir.build import assign, do, ref
+from repro.ir.expr import Var
+from repro.ir.stmt import ArrayDecl, Procedure
+from repro.machine.cache import CacheConfig
+from repro.machine.model import CostModel, MachineModel
+
+
+@pytest.fixture
+def tiny_machine() -> MachineModel:
+    """A deliberately small cache so tiny problems overflow it."""
+    return MachineModel(
+        name="tiny",
+        cache=CacheConfig(size_bytes=512, line_bytes=32, assoc=2),
+        cost=CostModel(ref_cost=1.0, miss_penalty=18.0, writeback_cost=4.0, clock_mhz=30.0),
+    )
+
+
+@pytest.fixture
+def vecadd_proc() -> Procedure:
+    """The Sec. 2.3 running example: DO J / DO I / A(I) += B(J)."""
+    return Procedure(
+        "vecadd",
+        ("N", "M"),
+        (ArrayDecl("A", (Var("M"),)), ArrayDecl("B", (Var("N"),))),
+        (
+            do(
+                "J",
+                1,
+                "N",
+                do("I", 1, "M", assign(ref("A", "I"), ref("A", "I") + ref("B", "J"))),
+            ),
+        ),
+    )
+
+
+def rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)

@@ -1,0 +1,60 @@
+"""Lexer edge cases beyond the happy path."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend.lexer import tokenize
+
+
+class TestNumbers:
+    def test_float_forms(self):
+        toks = tokenize("X = 1.5 + .25 + 2. + 1E3 + 1.5D-2")[0].tokens
+        kinds = [t.kind for t in toks]
+        assert kinds.count("FLOAT") == 5
+
+    def test_integer_vs_label(self):
+        lines = tokenize("10 X = 10")
+        assert lines[0].label == "10"
+        assert lines[0].tokens[-1].kind == "INT"
+
+    def test_lone_integer_line_is_not_a_label(self):
+        # a line that is ONLY a number keeps the number as a token
+        lines = tokenize("42 CONTINUE")
+        assert lines[0].label == "42"
+
+
+class TestOperators:
+    def test_power_vs_mul(self):
+        toks = tokenize("X = A ** 2 * B")[0].tokens
+        texts = [t.text for t in toks]
+        assert "**" in texts and "*" in texts
+
+    def test_modern_relationals(self):
+        toks = tokenize("X = A <= B")[0].tokens
+        assert any(t.text == "<=" for t in toks)
+
+    def test_dotops_case_insensitive(self):
+        toks = tokenize("X = a .gt. b .And. c .LT. d")[0].tokens
+        dots = [t.text for t in toks if t.kind == "DOTOP"]
+        assert dots == [".GT.", ".AND.", ".LT."]
+
+
+class TestLines:
+    def test_blank_and_comment_lines_skipped(self):
+        lines = tokenize("\n\nC comment\n  ! only comment\nX = 1\n\n")
+        assert len(lines) == 1
+
+    def test_multi_line_continuation(self):
+        lines = tokenize("X = 1 + &\n 2 + &\n 3")
+        assert len(lines) == 1
+        assert sum(1 for t in lines[0].tokens if t.kind == "INT") == 3
+
+    def test_line_numbers_tracked(self):
+        lines = tokenize("A = 1\n\nB = 2")
+        assert lines[0].number == 1
+        assert lines[1].number == 3
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as err:
+            tokenize("X = 1\nY = $bad")
+        assert "line 2" in str(err.value)

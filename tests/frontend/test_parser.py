@@ -1,0 +1,186 @@
+"""Fortran-subset front end: lexer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import parse_procedure, parse_statements, tokenize
+from repro.ir.expr import BinOp, Call, Compare, Const, Max, Min, Not, Var
+from repro.ir.stmt import Assign, BlockLoop, If, InLoop, Loop
+from repro.ir.visit import strip_labels
+from repro.symbolic.simplify import simplify_procedure
+
+
+class TestLexer:
+    def test_labels_and_case(self):
+        lines = tokenize("10  a(i) = B(I) + 1\n")
+        assert lines[0].label == "10"
+        assert lines[0].tokens[0].text == "A"
+
+    def test_comments(self):
+        lines = tokenize("C full line comment\nX = 1 ! trailing\n* another\n")
+        assert len(lines) == 1
+        assert [t.text for t in lines[0].tokens] == ["X", "=", "1"]
+
+    def test_continuation(self):
+        lines = tokenize("X = 1 + &\n    2\n")
+        assert len(lines) == 1
+        assert [t.text for t in lines[0].tokens][-1] == "2"
+
+    def test_dotops_and_floats(self):
+        lines = tokenize("IF (X .GE. 1.5E-2) Y = .TRUE.\n")
+        kinds = [t.kind for t in lines[0].tokens]
+        assert "DOTOP" in kinds and "FLOAT" in kinds
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("X = 1 @ 2")
+
+
+class TestStatements:
+    def test_assignment(self):
+        (s,) = parse_statements("X = Y + 2*Z")
+        assert s == Assign(Var("X"), Var("Y") + Const(2) * Var("Z"))
+
+    def test_array_assignment_requires_declaration(self):
+        (s,) = parse_statements("A(I) = 0.0", arrays=["A"])
+        assert s.target.array == "A"
+        with pytest.raises(ParseError):
+            parse_statements("A(I) = 0.0")
+
+    def test_structured_do(self):
+        (s,) = parse_statements("DO I = 1, N, 2\nX = I\nENDDO")
+        assert isinstance(s, Loop) and s.step == Const(2)
+
+    def test_precedence(self):
+        (s,) = parse_statements("X = A + B * C ** 2")
+        assert s.value == Var("A") + Var("B") * BinOp("**", Var("C"), Const(2))
+
+    def test_unary_minus_binds_loosely(self):
+        # Fortran: -A * B parses as -(A*B)
+        (s,) = parse_statements("X = -A * B")
+        assert s.value == BinOp("-", Const(0), BinOp("*", Var("A"), Var("B")))
+
+    def test_min_max_intrinsics(self):
+        (s,) = parse_statements("X = MIN(A, B, 3) + MAX(C, D)")
+        assert isinstance(s.value.left, Min)
+        assert isinstance(s.value.right, Max)
+        assert len(s.value.left.args) == 3
+
+    def test_known_intrinsic_call(self):
+        (s,) = parse_statements("X = DSQRT(Y)")
+        assert s.value == Call("DSQRT", (Var("Y"),))
+
+    def test_unknown_call_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statements("X = FOO(Y)")
+
+    def test_if_then_else(self):
+        (s,) = parse_statements(
+            "IF (X .GT. 0 .AND. Y .LT. 2) THEN\nZ = 1\nELSE\nZ = 2\nENDIF"
+        )
+        assert isinstance(s, If) and s.els
+
+    def test_one_line_if(self):
+        (s,) = parse_statements("IF (X .EQ. 0) Y = 1")
+        assert isinstance(s, If) and s.then == (Assign(Var("Y"), Const(1)),)
+
+    def test_labeled_do_with_continue(self):
+        (s,) = parse_statements("DO 10 I = 1, N\nX = I\n10 CONTINUE")
+        assert isinstance(s, Loop) and s.label == "10"
+
+    def test_shared_terminator(self):
+        (s,) = parse_statements("DO 10 J = 1, N\nDO 10 I = 1, N\n10 X = I + J")
+        inner = s.body[0]
+        assert isinstance(inner, Loop)
+        assert isinstance(inner.body[0], Assign)
+
+    def test_goto_guard_normalized(self):
+        (s,) = parse_statements(
+            "DO 20 K = 1, N\nIF (B(K) .EQ. 0.0) GOTO 20\nX = K\n20 CONTINUE",
+            arrays=["B"],
+        )
+        guard = s.body[0]
+        assert isinstance(guard, If)
+        assert guard.cond == Compare("ne", __import__("repro.ir.expr", fromlist=["ArrayRef"]).ArrayRef("B", (Var("K"),)), Const(0.0))
+
+    def test_goto_elsewhere_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statements("DO 20 K = 1, N\nIF (X .EQ. 0) GOTO 99\n20 CONTINUE")
+
+
+class TestProcedures:
+    def test_declarations_and_params(self):
+        p = parse_procedure(
+            """
+            SUBROUTINE F(N, M)
+              DOUBLE PRECISION A(N,M), TAU
+              REAL B(N)
+              INTEGER KLB(N)
+              A(1,1) = B(1)
+            END
+            """
+        )
+        assert p.name == "F"
+        assert p.params == ("N", "M")
+        assert p.array("A").dtype == "f8"
+        assert p.array("B").dtype == "f4"
+        assert p.array("KLB").dtype == "i8"
+
+    def test_paper_lu_matches_builder(self):
+        from repro.algorithms import lu_point_ir
+
+        src = """
+        SUBROUTINE LU(N)
+          DOUBLE PRECISION A(N,N)
+          DO 10 K = 1,N-1
+            DO 20 I = K+1,N
+        20    A(I,K) = A(I,K) / A(K,K)
+            DO 10 J = K+1,N
+              DO 10 I = K+1,N
+        10      A(I,J) = A(I,J) - A(I,K) * A(K,J)
+        END
+        """
+        parsed = simplify_procedure(strip_labels(parse_procedure(src)))
+        assert parsed.body == simplify_procedure(lu_point_ir()).body
+
+    def test_paper_matmul_matches_builder(self):
+        from repro.algorithms import matmul_guarded_ir
+
+        src = """
+        SUBROUTINE MM(N)
+          REAL A(N,N), B(N,N), C(N,N)
+          DO 20 J = 1,N
+            DO 20 K = 1,N
+              IF (B(K,J) .EQ. 0.0) GOTO 20
+              DO 10 I = 1,N
+        10      C(I,J) = C(I,J) + A(I,K) * B(K,J)
+        20 CONTINUE
+        END
+        """
+        parsed = strip_labels(parse_procedure(src))
+        assert parsed.body == matmul_guarded_ir().body
+
+
+class TestExtensions:
+    def test_block_do_and_in_do(self):
+        p = parse_procedure(
+            """
+            SUBROUTINE B(N)
+              DOUBLE PRECISION A(N)
+              BLOCK DO K = 1, N
+                IN K DO KK
+                  A(KK) = A(KK) + 1.0
+                ENDDO
+                IN K DO KK = K, LAST(K)
+                  A(KK) = A(KK) * 2.0
+                ENDDO
+              ENDDO
+            END
+            """
+        )
+        block = p.body[0]
+        assert isinstance(block, BlockLoop)
+        first, second = block.body
+        assert isinstance(first, InLoop) and first.lo is None
+        assert isinstance(second, InLoop) and second.lo is not None
+        assert second.hi == Call("LAST", (Var("K"),))

@@ -1,0 +1,61 @@
+"""Builder DSL conveniences and the error hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    MachineError,
+    ParseError,
+    ReproError,
+    SemanticsError,
+    TransformError,
+)
+from repro.ir.build import assign, block_do, do, if_, in_do, ref, sym
+from repro.ir.expr import ArrayRef, Const, Var
+from repro.ir.stmt import Assign, BlockLoop, If, InLoop, Loop
+
+
+class TestBuilders:
+    def test_ref_coerces(self):
+        r = ref("A", "I", 2)
+        assert r == ArrayRef("A", (Var("I"), Const(2)))
+
+    def test_assign_string_target_is_scalar(self):
+        s = assign("TAU", 0.0)
+        assert s.target == Var("TAU")
+
+    def test_do_with_step_and_label(self):
+        l = do("K", 1, "N", assign("X", 1), step="KS", label="10")
+        assert l.step == Var("KS") and l.label == "10"
+
+    def test_if_single_statement_bodies(self):
+        s = if_(Var("P").eq_(1), assign("X", 1), assign("X", 2))
+        assert isinstance(s, If)
+        assert len(s.then) == 1 and len(s.els) == 1
+
+    def test_extensions(self):
+        b = block_do("K", 1, "N", in_do("K", "KK", assign("X", 1)))
+        assert isinstance(b, BlockLoop)
+        assert isinstance(b.body[0], InLoop)
+
+    def test_sym(self):
+        assert sym("N") == Var("N")
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "cls", [ParseError, AnalysisError, TransformError, SemanticsError, MachineError]
+    )
+    def test_all_are_repro_errors(self, cls):
+        if cls is ParseError:
+            err = cls("bad", line=3)
+            assert "line 3" in str(err)
+        else:
+            err = cls("bad")
+        assert isinstance(err, ReproError)
+
+    def test_catching_the_base_class(self):
+        from repro.runtime.interpreter import idiv
+
+        with pytest.raises(ReproError):
+            idiv(1, 0)

@@ -1,0 +1,86 @@
+"""Fortran-style pretty printing."""
+
+from repro.ir.build import assign, do, if_, ref
+from repro.ir.expr import (
+    Call,
+    Compare,
+    Const,
+    IntDiv,
+    LogicalOp,
+    Max,
+    Min,
+    Not,
+    Var,
+)
+from repro.ir.pretty import fmt_expr, to_fortran
+from repro.ir.stmt import ArrayDecl, Procedure
+
+
+class TestExprFormatting:
+    def test_precedence_parens(self):
+        e = (Var("A") + Var("B")) * Var("C")
+        assert fmt_expr(e) == "(A + B) * C"
+
+    def test_no_spurious_parens(self):
+        e = Var("A") + Var("B") * Var("C")
+        assert fmt_expr(e) == "A + B * C"
+
+    def test_left_assoc_subtraction(self):
+        from repro.ir.expr import BinOp
+
+        e = BinOp("-", Var("A"), BinOp("-", Var("B"), Var("C")))
+        assert fmt_expr(e) == "A - (B - C)"
+
+    def test_negative_constant_prints_as_subtraction(self):
+        from repro.ir.expr import BinOp
+
+        e = BinOp("+", Var("N"), Const(-1))
+        assert fmt_expr(e) == "N - 1"
+
+    def test_min_max_call(self):
+        assert fmt_expr(Min((Var("A"), Var("B")))) == "MIN(A, B)"
+        assert fmt_expr(Max((Var("A"), Const(0)))) == "MAX(A, 0)"
+        assert fmt_expr(Call("DSQRT", (Var("X"),))) == "DSQRT(X)"
+
+    def test_relational_dots(self):
+        assert fmt_expr(Compare("ne", Var("X"), Const(0.0))) == "X .NE. 0.0"
+
+    def test_logical(self):
+        e = LogicalOp("and", (Var("P").eq_(1), Not(Var("Q").eq_(2))))
+        assert ".AND." in fmt_expr(e)
+        assert ".NOT." in fmt_expr(e)
+
+    def test_intdiv(self):
+        assert fmt_expr(IntDiv(Var("J") - Var("B"), Const(2))) == "(J - B) / 2"
+
+
+class TestProcedurePrinting:
+    def test_full_procedure(self):
+        p = Procedure(
+            "demo",
+            ("N",),
+            (ArrayDecl("A", (Var("N"),)), ArrayDecl("K", (Var("N"),), "i8")),
+            (
+                do(
+                    "I",
+                    1,
+                    "N",
+                    if_(
+                        ref("A", "I").ne_(0.0),
+                        [assign(ref("A", "I"), ref("A", "I") * 2.0)],
+                        [assign(ref("K", "I"), 0)],
+                    ),
+                ),
+            ),
+        )
+        text = to_fortran(p)
+        assert "SUBROUTINE demo(N)" in text
+        assert "DOUBLE PRECISION A(N)" in text
+        assert "INTEGER K(N)" in text
+        assert "DO I = 1, N" in text
+        assert "ELSE" in text
+        assert text.strip().endswith("END")
+
+    def test_step_printed_only_when_not_one(self):
+        assert ", KS" in to_fortran(do("K", 1, "N", assign("X", 1), step="KS"))
+        assert to_fortran(do("K", 1, "N", assign("X", 1))).count(",") == 1

@@ -1,0 +1,115 @@
+"""Statement and procedure node invariants."""
+
+import pytest
+
+from repro.ir.build import assign, do, ref
+from repro.ir.expr import Const, Var
+from repro.ir.stmt import ArrayDecl, Assign, BlockLoop, If, InLoop, Loop, Procedure
+
+
+class TestAssign:
+    def test_target_must_be_lvalue(self):
+        with pytest.raises(TypeError):
+            Assign(Const(1), Const(2))
+
+    def test_label_preserved(self):
+        s = Assign(Var("X"), Const(1), label="10")
+        assert s.label == "10"
+
+
+class TestLoop:
+    def test_single_stmt_body_is_wrapped(self):
+        body = assign("X", 1)
+        l = Loop("I", Const(1), Var("N"), body)
+        assert l.body == (body,)
+
+    def test_default_step_is_one(self):
+        l = do("I", 1, "N", assign("X", 1))
+        assert l.step == Const(1)
+
+    def test_with_bounds_and_body(self):
+        l = do("I", 1, "N", assign("X", 1))
+        l2 = l.with_bounds(lo=2, hi="M")
+        assert (l2.lo, l2.hi) == (Const(2), Var("M"))
+        assert l2.body == l.body
+        l3 = l.with_body(assign("Y", 2))
+        assert l3.body == (assign("Y", 2),)
+
+    def test_needs_var_name(self):
+        with pytest.raises(ValueError):
+            Loop("", Const(1), Const(2), (assign("X", 1),))
+
+
+class TestIf:
+    def test_bodies_normalized_to_tuples(self):
+        s = If(Var("P").eq_(1), (assign("X", 1),), (assign("X", 2),))
+        assert isinstance(s.then, tuple) and isinstance(s.els, tuple)
+
+    def test_empty_else_default(self):
+        s = If(Var("P").eq_(1), (assign("X", 1),))
+        assert s.els == ()
+
+
+class TestArrayDecl:
+    def test_itemsize_by_dtype(self):
+        assert ArrayDecl("A", (Var("N"),), "f8").itemsize == 8
+        assert ArrayDecl("A", (Var("N"),), "f4").itemsize == 4
+        assert ArrayDecl("K", (Var("N"),), "i8").itemsize == 8
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("A", (Var("N"),), "c16")
+
+    def test_dims_coerced(self):
+        d = ArrayDecl("A", (5, "N"))
+        assert d.dims == (Const(5), Var("N"))
+        assert d.rank == 2
+
+
+class TestProcedure:
+    def _proc(self):
+        return Procedure(
+            "p",
+            ("N",),
+            (ArrayDecl("A", (Var("N"),)),),
+            (do("I", 1, "N", assign(ref("A", "I"), 0.0)),),
+        )
+
+    def test_array_lookup(self):
+        p = self._proc()
+        assert p.array("A").name == "A"
+        with pytest.raises(KeyError):
+            p.array("B")
+        assert p.array_names == {"A"}
+
+    def test_duplicate_decl_rejected(self):
+        with pytest.raises(ValueError):
+            Procedure(
+                "p",
+                (),
+                (ArrayDecl("A", (Const(3),)), ArrayDecl("A", (Const(4),))),
+                (assign("X", 1),),
+            )
+
+    def test_adding_arrays_dedups(self):
+        p = self._proc()
+        p2 = p.adding_arrays(ArrayDecl("B", (Var("N"),)), ArrayDecl("A", (Const(9),)))
+        assert p2.array_names == {"A", "B"}
+        # existing A kept, not replaced
+        assert p2.array("A").dims == (Var("N"),)
+
+    def test_adding_params_dedups_and_appends(self):
+        p = self._proc()
+        p2 = p.adding_params("KS", "N")
+        assert p2.params == ("N", "KS")
+
+    def test_structural_equality(self):
+        assert self._proc() == self._proc()
+
+
+class TestExtensions:
+    def test_blockloop_and_inloop_shapes(self):
+        b = BlockLoop("K", Const(1), Var("N"), (assign("X", 1),))
+        assert b.body == (assign("X", 1),)
+        i = InLoop("K", "KK", (assign("X", 1),))
+        assert i.lo is None and i.hi is None

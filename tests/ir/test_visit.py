@@ -1,0 +1,115 @@
+"""Traversal, substitution, and loop-replacement machinery."""
+
+import pytest
+
+from repro.ir.build import assign, do, if_, ref
+from repro.ir.expr import ArrayRef, Const, Var
+from repro.ir.stmt import Assign, If, Loop, Procedure, ArrayDecl
+from repro.ir.visit import (
+    array_refs,
+    find_loops,
+    loop_by_var,
+    loop_path,
+    rename_loop_var,
+    replace_loop,
+    strip_labels,
+    substitute,
+    walk_exprs,
+    walk_stmts,
+)
+
+
+def nest():
+    return do(
+        "I",
+        1,
+        "N",
+        assign("T", ref("A", "I")),
+        do("J", "I", "N", assign(ref("A", "J"), ref("A", "J") + Var("T"))),
+        if_(Var("T").gt(0), [assign(ref("B", "I"), Var("T"))]),
+    )
+
+
+class TestWalkers:
+    def test_walk_stmts_preorder(self):
+        kinds = [type(s).__name__ for s in walk_stmts(nest())]
+        assert kinds == ["Loop", "Assign", "Loop", "Assign", "If", "Assign"]
+
+    def test_walk_exprs_covers_bounds_and_conditions(self):
+        names = {e.name for e in walk_exprs(nest()) if isinstance(e, Var)}
+        assert {"I", "J", "N", "T"} <= names
+
+    def test_array_refs(self):
+        arrays = {r.array for r in array_refs(nest())}
+        assert arrays == {"A", "B"}
+
+    def test_find_loops_and_lookup(self):
+        loops = find_loops(nest())
+        assert [l.var for l in loops] == ["I", "J"]
+        assert loop_by_var(nest(), "J").var == "J"
+        with pytest.raises(KeyError):
+            loop_by_var(nest(), "Z")
+
+    def test_loop_by_var_ambiguous(self):
+        body = (do("I", 1, 2, assign("X", 1)), do("I", 3, 4, assign("X", 2)))
+        with pytest.raises(ValueError):
+            loop_by_var(body, "I")
+
+
+class TestSubstitute:
+    def test_expr_substitution(self):
+        e = substitute(Var("I") + Var("N"), {"I": Var("II")})
+        assert e == Var("II") + Var("N")
+
+    def test_stmt_substitution_reaches_subscripts_and_bounds(self):
+        from repro.symbolic.simplify import simplify
+
+        l = do("J", Var("I"), "N", assign(ref("A", Var("I") + 1), 0.0))
+        out = substitute(l, {"I": Const(5)})
+        assert out.lo == Const(5)
+        # substitution is structural; folding is the simplifier's job
+        assert simplify(out.body[0].target) == ArrayRef("A", (Const(6),))
+
+    def test_capture_is_rejected(self):
+        l = do("J", 1, "N", assign(ref("A", "J"), 0.0))
+        with pytest.raises(ValueError):
+            substitute(l, {"J": Var("K")})
+
+    def test_rename_loop_var(self):
+        l = do("I", 1, "N", assign(ref("A", "I"), Var("I") + 1))
+        r = rename_loop_var(l, "II")
+        assert r.var == "II"
+        assert r.body[0].target == ArrayRef("A", (Var("II"),))
+
+
+class TestReplaceLoop:
+    def test_replace_inner_loop_with_two(self):
+        outer = nest()
+        proc = Procedure("p", ("N",), (ArrayDecl("A", (Var("N"),)), ArrayDecl("B", (Var("N"),))), (outer,))
+        j = loop_by_var(proc.body, "J")
+        first = j.with_bounds(hi=Const(5))
+        second = j.with_bounds(lo=Const(6))
+        out = replace_loop(proc, j, (first, second))
+        assert [l.var for l in find_loops(out)] == ["I", "J", "J"]
+
+    def test_replace_missing_loop_raises(self):
+        proc = Procedure("p", ("N",), (ArrayDecl("A", (Var("N"),)), ArrayDecl("B", (Var("N"),))), (nest(),))
+        stranger = do("Q", 1, 2, assign("X", 1))
+        with pytest.raises(ValueError):
+            replace_loop(proc, stranger, stranger)
+
+    def test_loop_path(self):
+        outer = nest()
+        j = loop_by_var((outer,), "J")
+        path = loop_path((outer,), j)
+        assert [l.var for l in path] == ["I", "J"]
+        with pytest.raises(KeyError):
+            loop_path((outer,), do("Q", 1, 2, assign("X", 1)))
+
+
+class TestStripLabels:
+    def test_labels_removed_everywhere(self):
+        l = Loop("I", Const(1), Var("N"), (Assign(Var("X"), Const(1), label="10"),), label="10")
+        out = strip_labels(l)
+        assert out.label is None
+        assert out.body[0].label is None

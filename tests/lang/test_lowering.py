@@ -1,0 +1,119 @@
+"""Section 6 language extensions: lowering and factor choice."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.frontend import parse_procedure
+from repro.ir.build import assign, block_do, do, in_do, ref
+from repro.ir.expr import Call, Const, Min, Var
+from repro.ir.stmt import ArrayDecl, Loop, Procedure
+from repro.ir.visit import find_loops, loop_by_var
+from repro.lang import choose_factor, lower_extensions
+from repro.machine.cache import CacheConfig
+from repro.machine.model import MachineModel, scaled_machine
+from repro.runtime.validate import assert_equivalent
+
+FIG11 = """
+SUBROUTINE BLU(N)
+  DOUBLE PRECISION A(N,N)
+  BLOCK DO K = 1,N-1
+    IN K DO KK
+      DO I = KK+1,N
+        A(I,KK) = A(I,KK)/A(KK,KK)
+      ENDDO
+      DO J = KK+1,LAST(K)
+        DO I = KK+1,N
+          A(I,J) = A(I,J) - A(I,KK) * A(KK,J)
+        ENDDO
+      ENDDO
+    ENDDO
+    DO J = LAST(K)+1,N
+      DO I = K+1,N
+        IN K DO KK = K,MIN(LAST(K),I-1)
+          A(I,J) = A(I,J) - A(I,KK) * A(KK,J)
+        ENDDO
+      ENDDO
+    ENDDO
+  ENDDO
+END
+"""
+
+
+class TestLowering:
+    def test_fig11_lowers_to_block_lu(self):
+        proc = parse_procedure(FIG11)
+        lowered, factor = lower_extensions(proc, factor="KS")
+        assert factor == Var("KS")
+        assert "KS" in lowered.params
+        k = loop_by_var(lowered.body, "K")
+        assert k.step == Var("KS")
+        # LAST(K) became MIN(K + KS - 1, N - 1)
+        from repro.ir.pretty import to_fortran
+
+        text = to_fortran(lowered)
+        assert "MIN(K + KS - 1, N - 1)" in text
+        # and semantics are exactly point LU
+        from repro.algorithms import lu_point_ir
+
+        for n, ks in ((13, 4), (12, 4), (9, 3)):
+            assert_equivalent(lu_point_ir(), lowered, {"N": n, "KS": ks})
+
+    def test_constant_factor(self):
+        proc = parse_procedure(FIG11)
+        lowered, factor = lower_extensions(proc, factor=4)
+        assert factor == Const(4)
+        from repro.algorithms import lu_point_ir
+
+        assert_equivalent(lu_point_ir(), lowered, {"N": 11})
+
+    def test_symbolic_default_factor(self):
+        proc = parse_procedure(FIG11)
+        lowered, factor = lower_extensions(proc)
+        assert factor == Var("KS")
+
+    def test_in_do_without_enclosing_block_rejected(self):
+        p = Procedure(
+            "t", ("N",), (ArrayDecl("A", (Var("N"),)),),
+            (in_do("K", "KK", assign(ref("A", "KK"), 0.0)),),
+        )
+        with pytest.raises(TransformError):
+            lower_extensions(p, factor=4)
+
+    def test_last_outside_block_rejected(self):
+        p = Procedure(
+            "t", ("N",), (ArrayDecl("A", (Var("N"),)),),
+            (
+                block_do("K", 1, "N", assign(ref("A", "K"), 0.0)),
+                assign("X", Call("LAST", (Var("K"),))),
+            ),
+        )
+        with pytest.raises(TransformError):
+            lower_extensions(p, factor=4)
+
+    def test_no_extensions_is_identity(self, vecadd_proc):
+        out, factor = lower_extensions(vecadd_proc, factor=4)
+        assert out is vecadd_proc
+
+
+class TestFactorChoice:
+    def test_monotone_in_cache_size(self):
+        proc = parse_procedure(FIG11)
+        small = MachineModel("s", CacheConfig(1024, 32, 2))
+        big = MachineModel("b", CacheConfig(64 * 1024, 32, 2))
+        fs = choose_factor(proc, small, {"N": 64})
+        fb = choose_factor(proc, big, {"N": 64})
+        assert fb >= fs >= 2
+
+    def test_end_to_end_machine_driven(self):
+        proc = parse_procedure(FIG11)
+        m = scaled_machine(4)
+        lowered, factor = lower_extensions(proc, machine=m, sizes={"N": 48})
+        assert isinstance(factor, Const) or isinstance(factor, int) or factor
+        from repro.algorithms import lu_point_ir
+
+        assert_equivalent(lu_point_ir(), lowered, {"N": 48})
+
+    def test_sizes_required_for_machine_choice(self):
+        proc = parse_procedure(FIG11)
+        with pytest.raises(TransformError):
+            lower_extensions(proc, machine=scaled_machine(4))

@@ -1,0 +1,106 @@
+"""Cache simulator unit tests."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.cache import Cache, CacheConfig, CacheStats
+
+
+class TestConfig:
+    def test_geometry_derivations(self):
+        c = CacheConfig(size_bytes=1024, line_bytes=64, assoc=2)
+        assert c.n_lines == 16
+        assert c.n_sets == 8
+        assert c.ways == 2
+
+    def test_fully_associative(self):
+        c = CacheConfig(size_bytes=1024, line_bytes=64, assoc=0)
+        assert c.n_sets == 1
+        assert c.ways == 16
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(size_bytes=1000, line_bytes=64),
+            dict(size_bytes=1024, line_bytes=48),
+            dict(size_bytes=64, line_bytes=128),
+            dict(size_bytes=1024, line_bytes=64, assoc=5),
+            dict(size_bytes=1024, line_bytes=64, assoc=32),
+        ],
+    )
+    def test_invalid_geometry(self, kw):
+        with pytest.raises(MachineError):
+            CacheConfig(**kw)
+
+    def test_describe(self):
+        assert "4-way" in CacheConfig(2048, 32, 4).describe()
+        assert "fully-assoc" in CacheConfig(2048, 32, 0).describe()
+
+
+class TestBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = Cache(CacheConfig(256, 32, 2))
+        assert c.access(0) is False
+        assert c.access(8) is True  # same line
+        assert c.access(32) is False  # next line
+        assert c.stats.misses == 2 and c.stats.hits == 1
+
+    def test_lru_within_set(self):
+        # direct test of LRU: 2-way set; touch A, B, A, C -> B evicted
+        c = Cache(CacheConfig(64, 32, 0))  # fully assoc, 2 lines
+        A, B, C = 0, 32, 64
+        c.access(A)
+        c.access(B)
+        c.access(A)  # A is MRU
+        c.access(C)  # evicts B
+        assert c.contains(A) and c.contains(C) and not c.contains(B)
+
+    def test_writeback_counted_on_dirty_eviction(self):
+        c = Cache(CacheConfig(64, 32, 0))  # 2 lines
+        c.access(0, is_write=True)
+        c.access(32)
+        c.access(64)  # evicts dirty line 0
+        assert c.stats.writebacks == 1
+        c.access(96)  # evicts clean line 32
+        assert c.stats.writebacks == 1
+
+    def test_write_hit_marks_dirty(self):
+        c = Cache(CacheConfig(64, 32, 0))
+        c.access(0)  # clean load
+        c.access(0, is_write=True)  # dirty it
+        c.access(32)
+        c.access(64)  # evict line 0 -> writeback
+        assert c.stats.writebacks == 1
+
+    def test_conflict_misses_in_direct_mapped(self):
+        c = Cache(CacheConfig(128, 32, 1))  # 4 sets, direct mapped
+        # two addresses 128 bytes apart map to the same set
+        for _ in range(4):
+            c.access(0)
+            c.access(128)
+        assert c.stats.misses == 8  # ping-pong, no reuse survives
+
+    def test_reset(self):
+        c = Cache(CacheConfig(128, 32, 1))
+        c.access(0, True)
+        c.reset()
+        assert c.stats.accesses == 0
+        assert c.resident_lines == 0
+
+    def test_read_write_counters(self):
+        c = Cache(CacheConfig(128, 32, 1))
+        c.access(0, True)
+        c.access(0, False)
+        assert (c.stats.writes, c.stats.reads) == (1, 1)
+
+
+class TestStats:
+    def test_miss_ratio_empty(self):
+        assert CacheStats().miss_ratio == 0.0
+
+    def test_addition(self):
+        a = CacheStats(10, 2, 6, 4, 1)
+        b = CacheStats(5, 1, 3, 2, 0)
+        c = a + b
+        assert (c.accesses, c.misses, c.writebacks) == (15, 3, 1)
+        assert c.hits == 12

@@ -1,0 +1,106 @@
+"""Properties of the cache simulator and the section algebra."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.expr import Const
+from repro.analysis.sections import (
+    Section,
+    Triplet,
+    section_contains,
+    section_disjoint,
+    section_intersect,
+    section_union_hull,
+)
+from repro.machine.cache import Cache, CacheConfig
+from repro.symbolic.assume import Assumptions
+
+addresses = st.lists(st.integers(min_value=0, max_value=4095), min_size=1, max_size=300)
+
+
+class TestCacheProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(trace=addresses)
+    def test_lru_inclusion_fully_associative(self, trace):
+        """A bigger fully-associative LRU cache never misses more."""
+        small = Cache(CacheConfig(256, 32, 0))
+        big = Cache(CacheConfig(1024, 32, 0))
+        for a in trace:
+            small.access(a)
+            big.access(a)
+        assert big.stats.misses <= small.stats.misses
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=addresses)
+    def test_miss_count_bounds(self, trace):
+        c = Cache(CacheConfig(512, 32, 2))
+        for a in trace:
+            c.access(a)
+        distinct_lines = len({a // 32 for a in trace})
+        assert distinct_lines <= c.stats.misses <= len(trace)
+        assert c.stats.accesses == len(trace)
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=addresses)
+    def test_residency_never_exceeds_capacity(self, trace):
+        c = Cache(CacheConfig(256, 32, 2))
+        for a in trace:
+            c.access(a, is_write=bool(a % 2))
+            assert c.resident_lines <= c.config.n_lines
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=addresses)
+    def test_writebacks_bounded_by_dirtying_writes(self, trace):
+        c = Cache(CacheConfig(128, 32, 1))
+        writes = 0
+        for a in trace:
+            is_w = bool(a % 3 == 0)
+            writes += is_w
+            c.access(a, is_write=is_w)
+        assert c.stats.writebacks <= writes
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=addresses)
+    def test_replay_determinism(self, trace):
+        c1 = Cache(CacheConfig(256, 32, 4))
+        c2 = Cache(CacheConfig(256, 32, 4))
+        for a in trace:
+            c1.access(a)
+            c2.access(a)
+        assert c1.stats.misses == c2.stats.misses
+
+
+bounds = st.integers(min_value=0, max_value=30)
+
+
+def concrete_sections(lo1, hi1, lo2, hi2):
+    a = Section("A", (Triplet(Const(lo1), Const(hi1)),))
+    b = Section("A", (Triplet(Const(lo2), Const(hi2)),))
+    sa = set(range(lo1, hi1 + 1))
+    sb = set(range(lo2, hi2 + 1))
+    return a, b, sa, sb
+
+
+class TestSectionAlgebra:
+    @settings(max_examples=150, deadline=None)
+    @given(lo1=bounds, hi1=bounds, lo2=bounds, hi2=bounds)
+    def test_against_concrete_sets(self, lo1, hi1, lo2, hi2):
+        ctx = Assumptions()
+        a, b, sa, sb = concrete_sections(lo1, hi1, lo2, hi2)
+        # three-valued answers must agree with set semantics when decided
+        d = section_disjoint(a, b, ctx)
+        if d is not None and sa and sb:
+            assert d == (not (sa & sb))
+        c = section_contains(a, b, ctx)
+        if c is True and sb:
+            assert sb <= sa
+        inter = section_intersect(a, b, ctx)
+        union = section_union_hull(a, b, ctx)
+        ilo, ihi = inter.dims[0].lo.value, inter.dims[0].hi.value
+        ulo, uhi = union.dims[0].lo.value, union.dims[0].hi.value
+        if sa & sb:
+            assert set(range(ilo, ihi + 1)) == (sa & sb)
+        if sa and sb:
+            assert set(range(ulo, uhi + 1)) >= (sa | sb)
+            assert ulo == min(lo1, lo2) and uhi == max(hi1, hi2)

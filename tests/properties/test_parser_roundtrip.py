@@ -1,0 +1,67 @@
+"""Property: pretty-print then re-parse is the identity on procedures."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import parse_procedure
+from repro.ir.build import assign, do, if_, ref
+from repro.ir.expr import Compare, Const, Min, Max, Var
+from repro.ir.pretty import to_fortran
+from repro.ir.stmt import ArrayDecl, Procedure
+from repro.ir.visit import strip_labels
+from repro.symbolic.simplify import simplify_procedure
+
+names = st.sampled_from(["I", "J", "K", "L"])
+consts = st.integers(min_value=0, max_value=9)
+
+
+@st.composite
+def exprs(draw, depth=2, idx_vars=("I",)):
+    if depth == 0:
+        leaves = [consts.map(Const), st.just(Var("N"))]
+        if idx_vars:
+            leaves.append(st.sampled_from([Var(v) for v in idx_vars]))
+        return draw(st.one_of(*leaves))
+    kind = draw(st.sampled_from(["add", "sub", "mul_c", "min", "max", "leaf"]))
+    if kind == "leaf":
+        return draw(exprs(depth=0, idx_vars=idx_vars))
+    a = draw(exprs(depth=depth - 1, idx_vars=idx_vars))
+    b = draw(exprs(depth=depth - 1, idx_vars=idx_vars))
+    if kind == "add":
+        return a + b
+    if kind == "sub":
+        return a - b
+    if kind == "mul_c":
+        return Const(draw(st.integers(min_value=2, max_value=4))) * a
+    if kind == "min":
+        return Min((a, b)) if a != b else a
+    return Max((a, b)) if a != b else a
+
+
+@st.composite
+def procedures(draw):
+    n_loops = draw(st.integers(min_value=1, max_value=3))
+    idx = ["I", "J", "K"][:n_loops]
+    body = assign(
+        ref("A", draw(exprs(idx_vars=tuple(idx)))),
+        ref("A", draw(exprs(idx_vars=tuple(idx)))) + Const(1.0),
+    )
+    stmt = body
+    if draw(st.booleans()):
+        stmt = if_(
+            Compare("ne", ref("A", Var(idx[-1])), Const(0.0)),
+            [body],
+        )
+    for v in reversed(idx):
+        lo = draw(exprs(depth=1, idx_vars=tuple(x for x in idx if x != v)))
+        stmt = do(v, lo, "N", stmt)
+    return Procedure("RT", ("N",), (ArrayDecl("A", (Var("N") * 8 + 64,)),), (stmt,))
+
+
+@settings(max_examples=80, deadline=None)
+@given(procedures())
+def test_roundtrip(proc):
+    text = to_fortran(proc)
+    back = parse_procedure(text)
+    assert simplify_procedure(strip_labels(back)).body == simplify_procedure(proc).body
+    assert back.params == proc.params
+    assert back.arrays == proc.arrays

@@ -1,0 +1,98 @@
+"""Property: every transformation preserves program semantics.
+
+Random shapes and parameters drive the paper's transformations over a
+family of kernels; the transformed procedure must produce bit-identical
+arrays (tolerance only where commutativity reorders floating point).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import lu_point_ir
+from repro.ir.build import assign, do, ref
+from repro.ir.expr import Min, Var
+from repro.ir.stmt import ArrayDecl, Procedure
+from repro.ir.visit import loop_by_var
+from repro.runtime.validate import assert_equivalent
+from repro.symbolic.assume import Assumptions
+from repro.transform.blocking import block_loop
+from repro.transform.index_set_split import split_index_set
+from repro.transform.stripmine import strip_mine
+from repro.transform.unroll_jam import triangular_unroll_jam, unroll_and_jam
+
+sizes = st.integers(min_value=1, max_value=14)
+factors = st.integers(min_value=2, max_value=6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=sizes, m=sizes, js=factors)
+def test_strip_mine_any_factor(n, m, js):
+    p = Procedure(
+        "v", ("N", "M"),
+        (ArrayDecl("A", (Var("M"),)), ArrayDecl("B", (Var("N"),))),
+        (do("J", 1, "N", do("I", 1, "M", assign(ref("A", "I"), ref("A", "I") + ref("B", "J")))),),
+    )
+    out, _ = strip_mine(p, loop_by_var(p.body, "J"), js)
+    assert_equivalent(p, out, {"N": n, "M": m})
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=sizes, point=st.integers(min_value=-3, max_value=20))
+def test_index_set_split_any_point(n, point):
+    l = do("I", 1, "N", assign(ref("A", "I"), ref("A", "I") * 2.0 + 1.0))
+    p = Procedure("s", ("N",), (ArrayDecl("A", (Var("N"),)),), (l,))
+    out, _ = split_index_set(p, l, point)
+    assert_equivalent(p, out, {"N": n})
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=2, max_value=13), ks=factors)
+def test_block_lu_equivalence(n, ks):
+    p = lu_point_ir()
+    out, report = block_loop(p, "K", "KS", ctx=Assumptions().assume_ge("N", 2))
+    assert_equivalent(p, out, {"N": n, "KS": ks})
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=1, max_value=16), u=factors)
+def test_unroll_and_jam_any_factor(n, u):
+    nest = do(
+        "J", 1, "N",
+        do("I", 1, "N", assign(ref("A", "I", "J"), ref("A", "I", "J") + ref("B", "I"))),
+    )
+    p = Procedure(
+        "m", ("N",),
+        (ArrayDecl("A", (Var("N"), Var("N"))), ArrayDecl("B", (Var("N"),))),
+        (nest,),
+    )
+    out = unroll_and_jam(p, loop_by_var(p.body, "J"), u)
+    assert_equivalent(p, out, {"N": n})
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=1, max_value=16), u=st.integers(min_value=2, max_value=4))
+def test_triangular_uj_lower(n, u):
+    nest = do(
+        "I", 1, "N",
+        do("J", "I", "N", assign(ref("A", "J", "I"), ref("A", "J", "I") + 1.0)),
+    )
+    p = Procedure("m", ("N",), (ArrayDecl("A", (Var("N"), Var("N"))),), (nest,))
+    out = triangular_unroll_jam(p, loop_by_var(p.body, "I"), u)
+    assert_equivalent(p, out, {"N": n})
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    is_=st.integers(min_value=2, max_value=8),
+)
+def test_sec33_blocking_pipeline(n, is_):
+    s1 = assign(ref("T", "I"), ref("A", "I"))
+    s2 = do("K", "I", "N", assign(ref("A", "K"), ref("A", "K") + ref("T", "I")))
+    p = Procedure(
+        "p", ("N",),
+        (ArrayDecl("A", (Var("N"),)), ArrayDecl("T", (Var("N"),))),
+        (do("I", 1, "N", s1, s2),),
+    )
+    out, _ = block_loop(p, "I", "IS")
+    assert_equivalent(p, out, {"N": n, "IS": is_})

@@ -1,0 +1,84 @@
+"""Affine form conversion and arithmetic."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir.expr import BinOp, Const, IntDiv, Min, Var
+from repro.symbolic.affine import Affine, affine_diff, affine_equal, from_affine, to_affine
+
+
+class TestAffineAlgebra:
+    def test_make_drops_zero_coefficients(self):
+        a = Affine.make({"I": 0, "J": 2}, 1)
+        assert a.variables == {"J"}
+
+    def test_add_sub_mul(self):
+        a = Affine.make({"I": 1}, 2)
+        b = Affine.make({"I": 3, "J": 1}, -1)
+        assert (a + b) == Affine.make({"I": 4, "J": 1}, 1)
+        assert (a - b) == Affine.make({"I": -2, "J": -1}, 3)
+        assert (a * 2) == Affine.make({"I": 2}, 4)
+        assert (-a) == Affine.make({"I": -1}, -2)
+
+    def test_scalar_radd_rsub(self):
+        a = Affine.variable("I")
+        assert (1 + a).const == 1
+        assert (1 - a) == Affine.make({"I": -1}, 1)
+
+    def test_substitute(self):
+        a = Affine.make({"I": 2, "J": 1}, 5)
+        out = a.substitute({"I": Affine.make({"K": 1}, 1)})
+        assert out == Affine.make({"K": 2, "J": 1}, 7)
+
+    def test_eval(self):
+        a = Affine.make({"I": 2}, 3)
+        assert a.eval({"I": 4}) == 11
+        with pytest.raises(KeyError):
+            a.eval({})
+
+    def test_integrality(self):
+        assert Affine.make({"I": 1}, 2).is_integral()
+        assert not (Affine.variable("I") * Fraction(1, 2)).is_integral()
+
+
+class TestConversion:
+    def test_round_trip(self):
+        e = Var("I") * 2 + Var("N") - 3
+        a = to_affine(e)
+        assert a == Affine.make({"I": 2, "N": 1}, -3)
+        assert to_affine(from_affine(a)) == a
+
+    def test_mul_requires_constant_side(self):
+        assert to_affine(BinOp("*", Var("I"), Var("J"))) is None
+
+    def test_float_rejected(self):
+        assert to_affine(Const(1.5)) is None
+
+    def test_minmax_not_affine(self):
+        assert to_affine(Min((Var("I"), Var("N")))) is None
+
+    def test_exact_intdiv_folds(self):
+        e = IntDiv(Var("I") * 4 + 8, Const(4))
+        assert to_affine(e) == Affine.make({"I": 1}, 2)
+
+    def test_inexact_intdiv_rejected(self):
+        assert to_affine(IntDiv(Var("I"), Const(2))) is None
+
+    def test_from_affine_requires_integral(self):
+        with pytest.raises(ValueError):
+            from_affine(Affine.variable("I") * Fraction(1, 2))
+
+    def test_constant_form(self):
+        assert from_affine(Affine.constant(7)) == Const(7)
+
+
+class TestHelpers:
+    def test_affine_equal(self):
+        assert affine_equal(Var("N") - 1, Var("N") + (-1)) is True
+        assert affine_equal(Var("N"), Var("M")) is False
+        assert affine_equal(Min((Var("N"), Var("M"))), Var("N")) is None
+
+    def test_affine_diff(self):
+        d = affine_diff(Var("I") + 5, Var("I") + 2)
+        assert d == Affine.constant(3)

@@ -1,0 +1,107 @@
+"""Expression simplification: affine canonicalization and MIN/MAX logic."""
+
+from repro.ir.expr import (
+    BinOp,
+    Call,
+    Compare,
+    Const,
+    IntDiv,
+    Max,
+    Min,
+    Not,
+    Var,
+)
+from repro.symbolic.assume import Assumptions
+from repro.symbolic.simplify import prove_eq, prove_le, prove_lt, simplify
+
+
+class TestAffineNormalization:
+    def test_sub_one_forms_agree(self):
+        assert simplify(BinOp("-", Var("N"), Const(1))) == simplify(
+            BinOp("+", Var("N"), Const(-1))
+        )
+
+    def test_nested_sums_flatten(self):
+        e = BinOp("+", BinOp("+", Var("I"), Var("IS")), Const(-1))
+        s = simplify(e)
+        assert s == simplify(Var("I") + Var("IS") - 1)
+
+    def test_cancellation(self):
+        assert simplify(Var("I") + Var("J") - Var("I")) == Var("J")
+
+
+class TestMinMax:
+    def test_provably_redundant_arm_dropped(self):
+        assert simplify(Min((Var("N"), Var("N") + 5))) == Var("N")
+        assert simplify(Max((Var("N"), Var("N") + 5))) == Var("N") + 5
+
+    def test_undecidable_arms_kept(self):
+        e = simplify(Min((Var("N"), Var("M"))))
+        assert isinstance(e, Min) and len(e.args) == 2
+
+    def test_context_prunes(self):
+        ctx = Assumptions().assume_le("KK", Var("N") - 1)
+        # MAX(KK+1, N) == N given KK+1 <= N
+        assert simplify(Max((Var("KK") + 1, Var("N"))), ctx) == Var("N")
+
+    def test_equal_arms_keep_first(self):
+        e = simplify(Min((Var("A"), Var("A") + 0)))
+        assert e == Var("A")
+
+    def test_arith_distributes_into_min(self):
+        e = simplify(BinOp("+", Min((Var("A"), Var("B"))), Const(1)))
+        assert e == Min((Var("A") + 1, Var("B") + 1))
+
+    def test_subtract_min_becomes_max(self):
+        e = simplify(BinOp("-", Var("X"), Min((Var("A"), Var("B")))))
+        assert isinstance(e, Max)
+
+    def test_negative_scale_flips(self):
+        e = simplify(BinOp("*", Const(-1), Min((Var("A"), Var("B")))))
+        assert isinstance(e, Max)
+
+    def test_intdiv_distributes(self):
+        e = simplify(IntDiv(Min((Var("A"), Var("B"))), Const(2)))
+        assert isinstance(e, Min)
+        assert all(isinstance(a, IntDiv) for a in e.args)
+
+
+class TestBooleans:
+    def test_not_compare_negates(self):
+        e = simplify(Not(Compare("eq", Var("X"), Const(0))))
+        assert e == Compare("ne", Var("X"), Const(0))
+
+    def test_double_not(self):
+        assert simplify(Not(Not(Var("P").eq_(1)))) == Var("P").eq_(1)
+
+
+class TestProvers:
+    def setup_method(self):
+        self.ctx = (
+            Assumptions()
+            .assume_ge("KS", 2)
+            .assume_range("KK", Var("K"), Var("K") + Var("KS") - 1)
+            .assume_ge("K", 1)
+            .assume_le("KK", Var("N") - 1)
+        )
+
+    def test_le_through_min_rhs(self):
+        # KK + 1 <= MIN(K + KS, N): both arms provable
+        target = Min((Var("K") + Var("KS"), Var("N")))
+        assert prove_le(Var("KK") + 1, target, self.ctx)
+
+    def test_lt_min_vs_min(self):
+        a = Min((Var("K") + Var("KS") - 1, Var("N") - 1))
+        b = Min((Var("K") + Var("KS"), Var("N")))
+        assert prove_lt(a, b, self.ctx)
+
+    def test_max_lhs(self):
+        # MAX(KK, 1) <= N - 1
+        assert prove_le(Max((Var("KK"), Const(1))), Var("N") - 1, self.ctx)
+
+    def test_eq(self):
+        assert prove_eq(Var("K") + 1, Var("K") + 1, self.ctx)
+        assert not prove_eq(Var("K"), Var("N"), self.ctx)
+
+    def test_unprovable_is_false(self):
+        assert not prove_le(Var("N"), Var("K"), self.ctx)
