@@ -335,14 +335,32 @@ def _orient(a, b, common, distance, direction, include_input) -> list[Dependence
     return out
 
 
+# Optional memoization hook, installed by repro.pipeline.cache.  When set it
+# is called as ``hook(root, ctx, include_input, compute)`` and must return
+# the dependence list (computing via ``compute`` on a miss).  Cached lists
+# may only be reused for the *same* root object: Dependence records hold
+# loop-node references that downstream consumers compare by identity.
+_memo_hook = None
+
+
 def all_dependences(
     root: Procedure | Stmt | Sequence[Stmt],
     ctx: Optional[Assumptions] = None,
     include_input: bool = False,
 ) -> list[Dependence]:
     """Every dependence among array accesses under ``root``."""
-    accs = collect_accesses(root)
     ctx = ctx or Assumptions()
+    if _memo_hook is not None:
+        return _memo_hook(root, ctx, include_input, _all_dependences_uncached)
+    return _all_dependences_uncached(root, ctx, include_input)
+
+
+def _all_dependences_uncached(
+    root: Procedure | Stmt | Sequence[Stmt],
+    ctx: Assumptions,
+    include_input: bool,
+) -> list[Dependence]:
+    accs = collect_accesses(root)
     by_array: dict[str, list[RefAccess]] = {}
     for acc in accs:
         by_array.setdefault(acc.array, []).append(acc)

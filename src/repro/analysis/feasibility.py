@@ -49,12 +49,25 @@ def _dedup(constraints: list[Affine]) -> list[Affine]:
     return out
 
 
+# Optional memoization hooks, installed by repro.pipeline.cache.  Both
+# results depend only on structural content (Affine tuples, subscript and
+# bound expressions), never on node identity, so cross-object reuse is safe.
+_feasible_memo_hook = None
+_direction_memo_hook = None
+
+
 def feasible(constraints: Sequence[Affine]) -> bool:
     """Is the conjunction ``aff >= 0`` for all affs rationally satisfiable?
 
     Returns True (conservatively) when the elimination exceeds the size
     guard.
     """
+    if _feasible_memo_hook is not None:
+        return _feasible_memo_hook(constraints, _feasible_uncached)
+    return _feasible_uncached(constraints)
+
+
+def _feasible_uncached(constraints: Sequence[Affine]) -> bool:
     work = _dedup([c for c in constraints])
     while True:
         # constant constraints decide or drop
@@ -195,6 +208,21 @@ def direction_feasible(
     True = cannot rule out; False = proved impossible.
     """
     ctx = ctx or Assumptions()
+    if _direction_memo_hook is not None:
+        return _direction_memo_hook(
+            a, b, directions, common, ctx, pinned, _direction_feasible_uncached
+        )
+    return _direction_feasible_uncached(a, b, directions, common, ctx, pinned)
+
+
+def _direction_feasible_uncached(
+    a: RefAccess,
+    b: RefAccess,
+    directions: Sequence[str],
+    common: Sequence[Loop],
+    ctx: Assumptions,
+    pinned: Sequence[str],
+) -> bool:
     if a.array != b.array or a.ref.rank != b.ref.rank:
         return False
     common_vars = [l.var for l in common]

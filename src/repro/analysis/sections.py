@@ -142,6 +142,12 @@ def ranges_for_loops(loops: Sequence[Loop]) -> dict[str, tuple[Expr, Expr]]:
     return {l.var: (l.lo, l.hi) for l in loops}
 
 
+# Optional memoization hook, installed by repro.pipeline.cache.  Sections
+# are frozen trees of Exprs with structural equality, so results can be
+# reused across distinct-but-equal access objects.
+_memo_hook = None
+
+
 def section_of_ref(
     acc: RefAccess,
     region_loop: Loop | None = None,
@@ -154,6 +160,17 @@ def section_of_ref(
     Loops outside the region stay symbolic: the LU study computes sections
     "for the entire execution of the KK-loop" with K symbolic (Fig. 5).
     """
+    if _memo_hook is not None:
+        return _memo_hook(acc, region_loop, ctx, extra_ranges, _section_of_ref_uncached)
+    return _section_of_ref_uncached(acc, region_loop, ctx, extra_ranges)
+
+
+def _section_of_ref_uncached(
+    acc: RefAccess,
+    region_loop: Loop | None,
+    ctx: Optional[Assumptions],
+    extra_ranges: Optional[Ranges],
+) -> Optional[Section]:
     if region_loop is None:
         region_loops: Sequence[Loop] = acc.loops
     else:

@@ -8,11 +8,12 @@ traces them through the scaled machine model, and returns a
 numbers and ours, plus ``assert_*`` helpers encoding the *shape* claims
 (who wins, roughly by how much, where the crossovers are).
 
-The variant constructions call the actual compiler
-(:func:`repro.transform.block_loop`, :mod:`repro.blockability`), not
-hand-written blocked code, wherever the paper claims compiler
+The variant constructions call the actual compiler — pass pipelines run
+through :mod:`repro.pipeline` (``derive``) and the blockability driver —
+not hand-written blocked code, wherever the paper claims compiler
 derivability; hand transcriptions (Figs. 6/8/10) serve as the comparators
-the derived code is checked against.
+the derived code is checked against.  Routing the derivations through the
+pass manager gives every table tracing and analysis caching for free.
 """
 
 from __future__ import annotations
@@ -34,7 +35,6 @@ from repro.algorithms import (
     sparse_b,
 )
 from repro.analysis.context import context_for_path
-from repro.analysis.shape import LoopShape, classify_loop_shape
 from repro.bench.harness import Table, measure
 from repro.errors import TransformError
 from repro.ir.build import assign, do, if_, ref
@@ -43,15 +43,7 @@ from repro.ir.stmt import ArrayDecl, Loop, Procedure
 from repro.ir.visit import find_loops, loop_by_var
 from repro.machine.model import MachineModel, RS6000_540, scaled_machine
 from repro.symbolic.assume import Assumptions
-from repro.transform import (
-    block_loop,
-    if_inspect,
-    scalar_replace,
-    split_trapezoid_max,
-    split_trapezoid_min,
-    triangular_unroll_jam,
-    unroll_and_jam,
-)
+from repro.transform import if_inspect, scalar_replace, unroll_and_jam
 from repro.transform.base import sole_inner_loop
 
 #: default geometry scale: problem dims /4, cache /16, line /4 — an exact
@@ -75,11 +67,13 @@ def scaled_block(paper_block: int, scale: int = SCALE) -> int:
 @functools.lru_cache(maxsize=None)
 def derived_block_lu() -> Procedure:
     """Fig. 6, derived by the compiler from the point algorithm."""
-    ctx = Assumptions().assume_ge("N", 2)
-    proc, report = block_loop(lu_point_ir(), "K", "KS", ctx=ctx)
-    if not report.blocked_innermost:
+    from repro.pipeline import derive
+
+    result = derive("lu_nopivot")
+    report = result.artifact("block")
+    if report is None or not report.blocked_innermost:
         raise TransformError("block LU derivation regressed")  # pragma: no cover
-    return proc
+    return result.procedure
 
 
 @functools.lru_cache(maxsize=None)
@@ -96,10 +90,9 @@ def derived_block_lu_pivot() -> Procedure:
 @functools.lru_cache(maxsize=None)
 def derived_givens() -> Procedure:
     """Fig. 10, derived from Fig. 9."""
-    from repro.blockability.givens import optimize_givens
+    from repro.pipeline import derive
 
-    ctx = Assumptions().assume_ge("M", 2).assume_le("N", "M")
-    return optimize_givens(givens_point_ir(), ctx)
+    return derive("givens").procedure
 
 
 @functools.lru_cache(maxsize=None)
@@ -107,9 +100,9 @@ def givens_opt_measured() -> Procedure:
     """The derived Fig. 10 plus scalar replacement (the register
     allocation the paper's Fortran compiler performs on the pivot-row
     element A(L,K) and the rotation temporaries)."""
-    proc = derived_givens()
-    proc, _ = scalar_replace(proc, Assumptions().assume_ge("M", 2).assume_le("N", "M"))
-    return proc
+    from repro.pipeline import derive
+
+    return derive("givens", passes=["givens_opt", "scalars"]).procedure
 
 
 def _update_j_loop(proc: Procedure) -> Loop:
@@ -215,80 +208,14 @@ def matmul_ujif(u: int = 4) -> Procedure:
 # convolution variants (Sec. 3.2)
 # ---------------------------------------------------------------------------
 
-def _fully_split(proc: Procedure, outer_var: str, base: Assumptions) -> Procedure:
-    """Split every trapezoidal (outer_var, inner) nest into triangular /
-    rectangular / rhomboidal pieces (Sec. 3.2's complete splitting)."""
-    for _ in range(8):
-        changed = False
-        for l in find_loops(proc):
-            if l.var != outer_var:
-                continue
-            inner = sole_inner_loop(l)
-            if inner is None:
-                continue
-            shape = classify_loop_shape(inner, outer_var)
-            ctx = context_for_path(proc, l, base)
-            try:
-                if shape.kind == LoopShape.TRAPEZOIDAL_MIN:
-                    proc, _pieces = split_trapezoid_min(proc, l, ctx)
-                elif shape.kind == LoopShape.TRAPEZOIDAL_MAX:
-                    proc, _pieces = split_trapezoid_max(proc, l, ctx)
-                else:
-                    continue
-            except TransformError:
-                continue
-            changed = True
-            break
-        if not changed:
-            return proc
-    return proc
-
-
-def _uj_all(proc: Procedure, outer_var: str, u: int, base: Assumptions) -> Procedure:
-    """Apply (triangular) unroll-and-jam to every (outer_var, inner) nest
-    present *before* any unrolling (the pre-loops UJ introduces are
-    remainder handling and must not be unrolled again)."""
-    targets = [
-        l
-        for l in find_loops(proc)
-        if l.var == outer_var and l.step == Const(1) and sole_inner_loop(l) is not None
-    ]
-    for target in targets:
-        live = next((l for l in find_loops(proc) if l == target), None)
-        if live is None:
-            continue
-        try:
-            ctx = context_for_path(proc, live, base)
-        except KeyError:
-            continue
-        shape = classify_loop_shape(sole_inner_loop(live), outer_var)
-        try:
-            if shape.kind == LoopShape.RECTANGULAR:
-                proc = unroll_and_jam(proc, live, u, ctx)
-            else:
-                proc = triangular_unroll_jam(proc, live, u, ctx)
-        except (TransformError, ValueError):
-            continue
-    return proc
-
-
 @functools.lru_cache(maxsize=None)
 def conv_transformed(kind: str, u: int = 4) -> Procedure:
     """The Sec. 3.2 treatment: complete index-set splitting, (triangular)
-    unroll-and-jam, scalar replacement."""
-    base = (
-        Assumptions()
-        .assume_ge("N1", 1)
-        .assume_ge("N3", 1)
-        .assume_ge("N2", u)
-        .assume_le("N2", Var("N1") - 1)
-        .assume_le("N3", "N1")
-    )
-    proc = aconv_ir() if kind == "aconv" else conv_ir()
-    proc = _fully_split(proc, "I", base)
-    proc = _uj_all(proc, "I", u, base)
-    proc, _ = scalar_replace(proc, base)
-    return proc
+    unroll-and-jam, scalar replacement — the ``split``, ``jam``, and
+    ``scalars`` passes of the workload's default pipeline."""
+    from repro.pipeline import derive
+
+    return derive(kind, unroll=u).procedure
 
 
 # ---------------------------------------------------------------------------

@@ -1,4 +1,11 @@
-"""End-to-end blockability classification."""
+"""End-to-end blockability classification.
+
+The classification runs through the pass pipeline
+(:mod:`repro.pipeline`): each blocking attempt is one ``block`` pass
+under a :class:`~repro.pipeline.manager.PassManager`, which makes every
+classification traced, timed, and memoized — repeated classification of
+an equal procedure replays from the analysis cache.
+"""
 
 from __future__ import annotations
 
@@ -13,11 +20,11 @@ from repro.analysis.commutativity import (
 )
 from repro.analysis.dependence import Dependence
 from repro.analysis.graph import _top_stmt_of
-from repro.errors import TransformError
 from repro.ir.expr import ExprLike
 from repro.ir.stmt import Loop, Procedure, Stmt
+from repro.pipeline.manager import PassManager, PassSpec
 from repro.symbolic.assume import Assumptions
-from repro.transform.blocking import BlockingReport, block_loop
+from repro.transform.blocking import BlockingReport
 
 
 class Verdict(enum.Enum):
@@ -88,26 +95,46 @@ def classify(
     """
     base_ctx = ctx.copy() if ctx is not None else Assumptions()
 
-    try:
-        blocked, report = block_loop(proc, loop_var, factor, ctx=base_ctx.copy())
-    except TransformError as e:
-        return BlockabilityResult(Verdict.NOT_BLOCKABLE, None, None, note=str(e))
+    def attempt(commutativity: bool):
+        # string/int factors memoize in the pass cache; Expr factors
+        # simply skip memoization (options must stay JSON scalars)
+        manager = PassManager(
+            [
+                PassSpec(
+                    "block",
+                    {
+                        "loop": loop_var,
+                        "factor": factor,
+                        "commutativity": commutativity,
+                    },
+                )
+            ],
+            ctx=base_ctx,
+            on_infeasible="stop",
+        )
+        result = manager.run(proc)
+        return result, result.spans[0]
+
+    result, span = attempt(False)
+    if span.status in ("error", "infeasible"):
+        note = span.error or span.detail.get("reason", "")
+        return BlockabilityResult(Verdict.NOT_BLOCKABLE, None, None, note=note)
+    report = span.artifact
     if report.blocked_innermost >= require_innermost:
-        return BlockabilityResult(Verdict.BLOCKABLE, blocked, report)
+        return BlockabilityResult(Verdict.BLOCKABLE, result.procedure, report)
 
     if allow_commutativity:
-        try:
-            blocked2, report2 = block_loop(
-                proc, loop_var, factor, ctx=base_ctx.copy(), ignore_dep=commutativity_oracle
-            )
-        except TransformError as e:
-            return BlockabilityResult(Verdict.NOT_BLOCKABLE, None, report, note=str(e))
+        result2, span2 = attempt(True)
+        if span2.status in ("error", "infeasible"):
+            note = span2.error or span2.detail.get("reason", "")
+            return BlockabilityResult(Verdict.NOT_BLOCKABLE, None, report, note=note)
+        report2 = span2.artifact
         if report2.blocked_innermost >= require_innermost and report2.used_commutativity:
             return BlockabilityResult(
-                Verdict.BLOCKABLE_WITH_COMMUTATIVITY, blocked2, report2
+                Verdict.BLOCKABLE_WITH_COMMUTATIVITY, result2.procedure, report2
             )
         if report2.blocked_innermost >= require_innermost:
-            return BlockabilityResult(Verdict.BLOCKABLE, blocked2, report2)
+            return BlockabilityResult(Verdict.BLOCKABLE, result2.procedure, report2)
 
     return BlockabilityResult(
         Verdict.NOT_BLOCKABLE,

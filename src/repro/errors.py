@@ -42,3 +42,15 @@ class SemanticsError(ReproError):
 
 class MachineError(ReproError):
     """Invalid machine/cache configuration."""
+
+
+class PipelineError(ReproError):
+    """A pass pipeline could not be assembled or run (unknown pass or
+    algorithm, bad option, infeasible pass under ``on_infeasible="raise"``)."""
+
+
+class VerificationError(ReproError):
+    """Differential verification caught a semantics change.
+
+    Raised by :mod:`repro.pipeline.verify` with the name of the first pass
+    whose output disagrees with the reference execution."""

@@ -13,6 +13,7 @@ Public surface:
 - construction helpers: :mod:`repro.ir.build`
 - traversal/rewriting: :mod:`repro.ir.visit`
 - pretty printers: :mod:`repro.ir.pretty`
+- structural hashing: :mod:`repro.ir.fingerprint`
 """
 
 from repro.ir.expr import (
@@ -44,6 +45,7 @@ from repro.ir.stmt import (
     Stmt,
 )
 from repro.ir.build import assign, block_do, do, in_do, ref, sym
+from repro.ir.fingerprint import ir_fingerprint, ir_size
 from repro.ir.pretty import to_fortran, to_pseudocode
 from repro.ir.visit import (
     NodeTransformer,
@@ -87,6 +89,8 @@ __all__ = [
     "do",
     "find_loops",
     "in_do",
+    "ir_fingerprint",
+    "ir_size",
     "loop_by_var",
     "ref",
     "substitute",

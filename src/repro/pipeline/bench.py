@@ -1,0 +1,107 @@
+"""Machine-readable pipeline benchmark: ``python -m repro.pipeline.bench``.
+
+Runs the paper's derivations (LU, Givens, convolution / auto-convolution)
+through the pass manager twice against one shared analysis cache — a
+**cold** pass that pays for every dependence / Fourier–Motzkin / section
+query, then a **warm** pass that replays from the cache — and writes
+``BENCH_pipeline.json`` with per-pass wall times and per-region hit
+rates.  Future PRs diff this file to see whether the analysis hot path
+moved.
+
+Schema::
+
+    {
+      "schema": "repro.pipeline.bench/1",
+      "workloads": {
+        "<name>": {
+          "passes": ["block", ...],
+          "cold": {"elapsed_s": f, "spans": [{"pass","status","wall_s","cached"}]},
+          "warm": {...same shape, spans mostly cached...},
+          "warm_speedup": f
+        }, ...
+      },
+      "cache": { "<region>": {"hits","misses","entries","hit_rate"}, ... }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Optional
+
+from repro.pipeline import derive
+from repro.pipeline.cache import AnalysisCache
+
+#: what to measure: (workload, pass list or None for the default pipeline)
+BENCH_WORKLOADS = (
+    ("lu_nopivot", None),
+    ("givens", ["givens_opt", "scalars"]),
+    ("conv", None),
+    ("aconv", None),
+)
+
+
+def _run(name: str, passes, cache: AnalysisCache) -> dict:
+    result = derive(name, passes=passes, cache=cache)
+    return {
+        "elapsed_s": round(result.trace["elapsed_s"], 4),
+        "spans": [
+            {
+                "pass": s.name,
+                "status": s.status,
+                "wall_s": round(s.wall_s, 4),
+                "cached": s.cached,
+            }
+            for s in result.spans
+        ],
+    }
+
+
+def run_bench() -> dict:
+    cache = AnalysisCache()
+    workloads = {}
+    for name, passes in BENCH_WORKLOADS:
+        cold = _run(name, passes, cache)
+        warm = _run(name, passes, cache)
+        workloads[name] = {
+            "passes": [s["pass"] for s in cold["spans"]],
+            "cold": cold,
+            "warm": warm,
+            "warm_speedup": round(
+                cold["elapsed_s"] / warm["elapsed_s"], 1
+            )
+            if warm["elapsed_s"] > 0
+            else None,
+        }
+    return {
+        "schema": "repro.pipeline.bench/1",
+        "workloads": workloads,
+        "cache": cache.stats(),
+    }
+
+
+def main(argv: Optional[list] = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    path = argv[0] if argv else "BENCH_pipeline.json"
+    bench = run_bench()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(bench, fh, indent=2)
+        fh.write("\n")
+    for name, data in bench["workloads"].items():
+        print(
+            f"{name:<12} cold {data['cold']['elapsed_s']:7.3f}s  "
+            f"warm {data['warm']['elapsed_s']:7.3f}s  "
+            f"(x{data['warm_speedup']})"
+        )
+    for region, stats in bench["cache"].items():
+        print(
+            f"cache[{region}]: {stats['hits']} hits / {stats['misses']} misses "
+            f"({stats['hit_rate']:.0%})"
+        )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

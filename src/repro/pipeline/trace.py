@@ -1,0 +1,90 @@
+"""Structured JSON traces of pipeline runs.
+
+Schema (version 1) — the README documents this too:
+
+.. code-block:: text
+
+    {
+      "schema": "repro.pipeline/1",
+      "algorithm": "lu_nopivot",          # workload name ("" for ad hoc)
+      "procedure": "lu_point",            # input Procedure.name
+      "passes": ["split", "block", "jam"],
+      "spans": [
+        {
+          "index": 0,
+          "pass": "block",
+          "status": "applied",            # applied|noop|infeasible|error
+          "wall_s": 1.32,
+          "cached": false,
+          "input_fingerprint": "ba77...", # sha256 of the input IR
+          "output_fingerprint": "19c2...",
+          "ir_size_before": 50,
+          "ir_size_after": 154,
+          "detail": {...},                # pass-specific, JSON only
+          "verify": {...} | null,         # differential-check summary
+          "error": null | "message",
+          "snapshot": null | "DO K = ..." # pretty IR when requested
+        }, ...
+      ],
+      "cache": {"dependence": {"hits": n, "misses": m, ...}, ...},
+      "verify_enabled": true,
+      "elapsed_s": 1.35
+    }
+
+One span per pass *attempted* — infeasible and errored passes get spans
+too, because "the compiler refuses here" is a result.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.manager import SpanRecord
+
+SCHEMA = "repro.pipeline/1"
+
+
+def span_to_dict(span: "SpanRecord") -> dict:
+    return {
+        "index": span.index,
+        "pass": span.name,
+        "status": span.status,
+        "wall_s": span.wall_s,
+        "cached": span.cached,
+        "input_fingerprint": span.input_fingerprint,
+        "output_fingerprint": span.output_fingerprint,
+        "ir_size_before": span.ir_size_before,
+        "ir_size_after": span.ir_size_after,
+        "detail": span.detail,
+        "verify": span.verify,
+        "error": span.error,
+        "snapshot": span.snapshot,
+    }
+
+
+def build_trace(
+    spans: Sequence["SpanRecord"],
+    algorithm: str = "",
+    procedure: str = "",
+    cache_stats: Optional[dict] = None,
+    verify_enabled: bool = False,
+    elapsed_s: float = 0.0,
+) -> dict:
+    return {
+        "schema": SCHEMA,
+        "algorithm": algorithm,
+        "procedure": procedure,
+        "passes": [s.name for s in spans],
+        "spans": [span_to_dict(s) for s in spans],
+        "cache": cache_stats or {},
+        "verify_enabled": verify_enabled,
+        "elapsed_s": elapsed_s,
+    }
+
+
+def write_trace(path: str, trace: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=2, sort_keys=False)
+        fh.write("\n")

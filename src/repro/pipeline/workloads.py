@@ -1,0 +1,229 @@
+"""Named workloads: algorithm + assumptions + pass bindings.
+
+A workload packages what the CLI and the experiment layer need to run a
+derivation by name: the point algorithm builder, the paper's assumption
+context, per-pass default options (which loop to block, by what factor,
+what to unroll), small verification sizes, and the tolerance regime.
+
+``--algorithm lu_nopivot --passes split,block,jam`` resolves each pass
+name against :attr:`Workload.pass_options`, so the same pass vocabulary
+drives every algorithm with the right bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import PipelineError
+from repro.ir.expr import Var
+from repro.ir.stmt import Procedure
+from repro.symbolic.assume import Assumptions
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    title: str
+    build: Callable[[], Procedure]
+    assumptions: Callable[[int], Assumptions]  # unroll factor -> context
+    pass_options: dict = field(default_factory=dict)  # pass name -> options
+    default_passes: tuple = ()
+    verify_sizes: dict = field(default_factory=dict)
+    exact: bool = True
+    unroll: int = 4
+
+    def resolve_specs(
+        self,
+        names: Optional[list] = None,
+        unroll: Optional[int] = None,
+        factor: Optional[str] = None,
+    ) -> list[tuple]:
+        """(name, options) pairs for the requested (or default) passes,
+        with the workload's bindings and any overrides applied."""
+        names = list(names) if names else list(self.default_passes)
+        specs = []
+        for name in names:
+            options = dict(self.pass_options.get(name, {}))
+            if unroll is not None and name == "jam":
+                options["unroll"] = unroll
+            if factor is not None and name in ("block", "stripmine"):
+                options["factor"] = factor
+            specs.append((name, options))
+        return specs
+
+    def context(self, unroll: Optional[int] = None) -> Assumptions:
+        return self.assumptions(unroll if unroll is not None else self.unroll)
+
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register(w: Workload) -> None:
+    if w.name in _REGISTRY:
+        raise PipelineError(f"workload {w.name!r} registered twice")
+    _REGISTRY[w.name] = w
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise PipelineError(f"unknown algorithm {name!r} (known: {known})") from None
+
+
+def available_workloads() -> list[Workload]:
+    return [w for _, w in sorted(_REGISTRY.items())]
+
+
+# ---------------------------------------------------------------------------
+# the paper's workloads
+# ---------------------------------------------------------------------------
+
+def _build_lu() -> Procedure:
+    from repro.algorithms import lu_point_ir
+
+    return lu_point_ir()
+
+
+def _build_lu_pivot() -> Procedure:
+    from repro.algorithms import lu_pivot_point_ir
+
+    return lu_pivot_point_ir()
+
+
+def _build_givens() -> Procedure:
+    from repro.algorithms import givens_point_ir
+
+    return givens_point_ir()
+
+
+def _build_conv() -> Procedure:
+    from repro.algorithms import conv_ir
+
+    return conv_ir()
+
+
+def _build_aconv() -> Procedure:
+    from repro.algorithms import aconv_ir
+
+    return aconv_ir()
+
+
+def _build_matmul() -> Procedure:
+    from repro.algorithms import matmul_guarded_ir
+
+    return matmul_guarded_ir()
+
+
+def _conv_assumptions(u: int) -> Assumptions:
+    return (
+        Assumptions()
+        .assume_ge("N1", 1)
+        .assume_ge("N3", 1)
+        .assume_ge("N2", u)
+        .assume_le("N2", Var("N1") - 1)
+        .assume_le("N3", "N1")
+    )
+
+
+register(
+    Workload(
+        name="lu_nopivot",
+        title="LU decomposition without pivoting (Sec. 5.1, Fig. 6)",
+        build=_build_lu,
+        assumptions=lambda u: Assumptions().assume_ge("N", 2),
+        pass_options={
+            "split": {"loop": "K"},
+            "stripmine": {"loop": "K", "factor": "KS"},
+            "block": {"loop": "K", "factor": "KS"},
+            "jam": {"loop": "J", "unroll": 4},
+            "distribute": {"loop": "K"},
+        },
+        default_passes=("block",),
+        verify_sizes={"N": 13, "KS": 4},
+        exact=True,
+    )
+)
+
+register(
+    Workload(
+        name="lu_pivot",
+        title="LU decomposition with partial pivoting (Sec. 5.2, Fig. 8)",
+        build=_build_lu_pivot,
+        assumptions=lambda u: Assumptions().assume_ge("N", 2),
+        pass_options={
+            "block": {"loop": "K", "factor": "KS", "commutativity": True},
+            "jam": {"loop": "J", "unroll": 4},
+            "distribute": {"loop": "K", "commutativity": True},
+        },
+        default_passes=("block",),
+        verify_sizes={"N": 13, "KS": 4},
+        # commuting column updates past row interchanges reassociates
+        exact=False,
+    )
+)
+
+register(
+    Workload(
+        name="givens",
+        title="QR decomposition with Givens rotations (Sec. 5.4, Fig. 10)",
+        build=_build_givens,
+        assumptions=lambda u: Assumptions().assume_ge("M", 2).assume_le("N", "M"),
+        pass_options={
+            "jam": {"loop": "J", "unroll": 4},
+        },
+        default_passes=("givens_opt",),
+        verify_sizes={"M": 10, "N": 8},
+        exact=True,
+    )
+)
+
+register(
+    Workload(
+        name="conv",
+        title="time-series convolution (Sec. 3.2)",
+        build=_build_conv,
+        assumptions=_conv_assumptions,
+        pass_options={
+            "split": {"loop": "I"},
+            "jam": {"loop": "I", "unroll": 4},
+        },
+        default_passes=("split", "jam", "scalars"),
+        verify_sizes={"N1": 24, "N2": 18, "N3": 20, "DT": 0.5},
+        exact=True,
+    )
+)
+
+register(
+    Workload(
+        name="aconv",
+        title="auto-convolution (Sec. 3.2)",
+        build=_build_aconv,
+        assumptions=_conv_assumptions,
+        pass_options={
+            "split": {"loop": "I"},
+            "jam": {"loop": "I", "unroll": 4},
+        },
+        default_passes=("split", "jam", "scalars"),
+        verify_sizes={"N1": 24, "N2": 18, "N3": 20, "DT": 0.5},
+        exact=True,
+    )
+)
+
+register(
+    Workload(
+        name="matmul",
+        title="guarded matrix multiply (Sec. 4, IF-inspection)",
+        build=_build_matmul,
+        assumptions=lambda u: Assumptions().assume_ge("N", 1),
+        pass_options={
+            "if_inspection": {"loop": "K"},
+            "jam": {"loop": "K", "unroll": 4},
+        },
+        default_passes=("if_inspection", "jam", "scalars"),
+        verify_sizes={"N": 12},
+        exact=True,
+    )
+)

@@ -98,6 +98,24 @@ class Assumptions:
                 if bound not in self._hi[name]:
                     self._hi[name].append(bound)
 
+    def facts_key(self) -> tuple:
+        """Hashable canonical key of the stored facts.
+
+        Two contexts with the same provable facts (same bound sets, in any
+        insertion order) produce equal keys, so analysis results computed
+        under one context can be reused under a structurally equal one
+        (:mod:`repro.pipeline.cache`).
+        """
+
+        def side(bounds: dict[str, list[Affine]]) -> tuple:
+            return tuple(
+                (name, tuple(sorted((b.coeffs, b.const) for b in bs)))
+                for name, bs in sorted(bounds.items())
+                if bs
+            )
+
+        return (side(self._lo), side(self._hi))
+
     # ---- decisions --------------------------------------------------------
     def _const_bounds(self, aff: Affine, want_upper: bool, depth: int, seen: frozenset[str]) -> list[Fraction]:
         """Constant candidates bounding ``aff`` from above (or below)."""

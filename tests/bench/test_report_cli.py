@@ -1,0 +1,77 @@
+"""repro.bench.report CLI: --progress lines, partial output, exit codes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import report
+from repro.bench.harness import Table
+
+
+def fake_table(title: str) -> Table:
+    t = Table(
+        title=title,
+        paper_ref="test ref",
+        machine="test machine",
+        columns=("variant", "seconds"),
+    )
+    t.add(variant="orig", seconds=1.0)
+    return t
+
+
+@pytest.fixture
+def patched_builders(monkeypatch):
+    """Swap the real (minutes-long) table builders for instant fakes."""
+
+    def use(builders):
+        monkeypatch.setattr(report, "_builders", lambda scale: builders)
+
+    return use
+
+
+class TestBuildAll:
+    def test_failure_is_collected_not_raised(self, patched_builders):
+        def boom():
+            raise RuntimeError("simulated table crash")
+
+        patched_builders([("good", lambda: fake_table("good")), ("bad", boom)])
+        tables, elapsed, failures = report.build_all(progress=False)
+        assert [t.title for t in tables] == ["good"]
+        assert len(failures) == 1
+        assert failures[0][0] == "bad"
+        assert "simulated table crash" in failures[0][1]
+
+    def test_progress_lines(self, patched_builders, capsys):
+        patched_builders([("T9 fake", lambda: fake_table("T9"))])
+        report.build_all(progress=True)
+        assert "T9 fake: done in" in capsys.readouterr().out
+
+
+class TestMainExitCodes:
+    def test_all_tables_ok_exits_zero(self, patched_builders, tmp_path, capsys):
+        patched_builders([("only", lambda: fake_table("Only Table"))])
+        path = tmp_path / "EXPERIMENTS.md"
+        assert report.main([str(path)]) == 0
+        text = path.read_text()
+        assert "## Only Table" in text
+        assert "| variant | seconds |" in text
+
+    def test_failing_table_exits_nonzero_but_writes_survivors(
+        self, patched_builders, tmp_path, capsys
+    ):
+        def boom():
+            raise RuntimeError("simulated table crash")
+
+        patched_builders(
+            [("alive", lambda: fake_table("Alive")), ("dead", boom)]
+        )
+        path = tmp_path / "EXPERIMENTS.md"
+        assert report.main(["--progress", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "alive: done in" in captured.out
+        assert "dead: FAILED after" in captured.out
+        assert "TABLE FAILED: dead" in captured.err
+        assert "1 table(s) failed" in captured.err
+        # the surviving table still landed on disk
+        assert "## Alive" in path.read_text()
+        assert "## dead" not in path.read_text()

@@ -1,0 +1,80 @@
+"""Structural fingerprints: equal IR hashes equal, renamed IR differs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import conv_ir, givens_point_ir, lu_point_ir
+from repro.ir.build import assign, do, ref
+from repro.ir.expr import Const, Var
+from repro.ir.fingerprint import ir_fingerprint, ir_size
+from repro.ir.stmt import ArrayDecl, Procedure
+from repro.ir.visit import substitute
+
+
+def test_equal_ir_equal_fingerprint():
+    a, b = lu_point_ir(), lu_point_ir()
+    assert a is not b and a == b
+    assert ir_fingerprint(a) == ir_fingerprint(b)
+
+
+def test_fingerprint_is_stable_across_calls():
+    p = givens_point_ir()
+    assert ir_fingerprint(p) == ir_fingerprint(p)
+
+
+def test_distinct_algorithms_differ():
+    fps = {ir_fingerprint(p()) for p in (lu_point_ir, givens_point_ir, conv_ir)}
+    assert len(fps) == 3
+
+
+def test_renamed_variable_changes_fingerprint():
+    body = assign(ref("A", "I"), Const(0.0))
+    loop_i = do("I", 1, "N", body)
+    loop_j = do("J", 1, "N", assign(ref("A", "J"), Const(0.0)))
+    assert loop_i != loop_j
+    assert ir_fingerprint(loop_i) != ir_fingerprint(loop_j)
+    # renaming only the reference (not the loop header) also changes it
+    half_renamed = do("I", 1, "N", assign(ref("A", "J"), Const(0.0)))
+    assert ir_fingerprint(loop_i) != ir_fingerprint(half_renamed)
+
+
+def test_substituted_procedure_body_changes_fingerprint():
+    p = lu_point_ir()
+    renamed = substitute(p.body[0], {"N": Var("M")})
+    assert ir_fingerprint(renamed) != ir_fingerprint(p.body[0])
+
+
+def test_const_type_distinction():
+    # integer 0 and float 0.0 are different programs (int division!)
+    assert ir_fingerprint(Const(0)) != ir_fingerprint(Const(0.0))
+    assert ir_fingerprint(Const(1)) != ir_fingerprint(Const(True))
+
+
+def test_expr_vs_var_name_collision_resists():
+    # token stream must not let (Var "AB") collide with (Var "A", Var "B")
+    a = (Var("AB"),)
+    b = (Var("A"), Var("B"))
+    assert ir_fingerprint(a) != ir_fingerprint(b)
+
+
+def test_body_sequences_fingerprintable():
+    p = lu_point_ir()
+    assert ir_fingerprint(p.body) == ir_fingerprint(tuple(p.body))
+    assert ir_fingerprint(p.body) != ir_fingerprint(p)
+
+
+def test_ir_size_counts_grow_with_program():
+    small = Procedure(
+        "tiny",
+        ("N",),
+        (ArrayDecl("A", (Var("N"),)),),
+        (do("I", 1, "N", assign(ref("A", "I"), Const(0.0))),),
+    )
+    assert ir_size(small) < ir_size(lu_point_ir())
+    assert ir_size(Const(1)) == 1
+
+
+def test_unknown_object_rejected():
+    with pytest.raises(TypeError):
+        ir_fingerprint(object())

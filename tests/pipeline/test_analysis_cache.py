@@ -1,0 +1,157 @@
+"""AnalysisCache: memo hooks, hit counters, install/uninstall nesting."""
+
+from __future__ import annotations
+
+from repro.algorithms import lu_point_ir
+from repro.analysis import dependence as dep_mod
+from repro.analysis import feasibility as feas_mod
+from repro.analysis import sections as sec_mod
+from repro.analysis.dependence import all_dependences
+from repro.analysis.feasibility import feasible
+from repro.pipeline.cache import AnalysisCache, installed, uninstall
+from repro.pipeline.manager import run_passes
+from repro.symbolic.affine import Affine
+from repro.symbolic.assume import Assumptions
+
+
+def lu_ctx() -> Assumptions:
+    return Assumptions().assume_ge("N", 2)
+
+
+class TestDependenceRegion:
+    def test_same_root_hits_equal_copy_misses(self):
+        cache = AnalysisCache()
+        p1, p2 = lu_point_ir(), lu_point_ir()
+        with installed(cache):
+            first = all_dependences(p1.body[0], lu_ctx())
+            again = all_dependences(p1.body[0], lu_ctx())
+            assert cache.dependence.hits == 1
+            assert cache.dependence.misses == 1
+            # dependence records hold loop identities: a structurally
+            # equal but distinct tree must NOT share the cached value
+            all_dependences(p2.body[0], lu_ctx())
+            assert cache.dependence.misses == 2
+        assert [d.kind for d in first] == [d.kind for d in again]
+
+    def test_cached_list_is_a_fresh_copy(self):
+        cache = AnalysisCache()
+        p = lu_point_ir()
+        with installed(cache):
+            first = all_dependences(p.body[0], lu_ctx())
+            first.append("sentinel")
+            again = all_dependences(p.body[0], lu_ctx())
+        assert "sentinel" not in again
+
+    def test_results_identical_with_and_without_cache(self):
+        p = lu_point_ir()
+        bare = all_dependences(p.body[0], lu_ctx())
+        with installed(AnalysisCache()):
+            hooked = all_dependences(p.body[0], lu_ctx())
+            hooked_again = all_dependences(p.body[0], lu_ctx())
+        key = lambda deps: [(d.kind, d.direction) for d in deps]
+        assert key(bare) == key(hooked) == key(hooked_again)
+
+
+class TestFeasibilityRegion:
+    def test_equal_constraint_lists_hit(self):
+        cache = AnalysisCache()
+        cons = [Affine.make({"I": 1}, 0), Affine.make({"I": -1}, 5)]
+        with installed(cache):
+            a = feasible(list(cons))
+            b = feasible(list(cons))
+        assert a is b or a == b
+        assert cache.feasibility.hits == 1
+        assert cache.feasibility.misses == 1
+
+
+class TestPassRegion:
+    SPEC = [("block", {"loop": "K", "factor": "KS"})]
+
+    def test_second_derivation_replays_from_cache(self):
+        cache = AnalysisCache()
+        r1 = run_passes(lu_point_ir(), self.SPEC, ctx=lu_ctx(), cache=cache)
+        assert not r1.spans[0].cached
+        r2 = run_passes(lu_point_ir(), self.SPEC, ctx=lu_ctx(), cache=cache)
+        assert r2.spans[0].cached
+        assert cache.passes.hits == 1
+        assert r2.procedure == r1.procedure
+        # the replay must leave the context identical to a fresh run
+        assert r2.ctx.facts_key() == r1.ctx.facts_key()
+
+    def test_analysis_regions_fill_during_blocking(self):
+        cache = AnalysisCache()
+        run_passes(lu_point_ir(), self.SPEC, ctx=lu_ctx(), cache=cache)
+        stats = cache.stats()
+        assert stats["direction"]["hits"] > 0
+        assert stats["sections"]["hits"] > 0
+        assert cache.total_hits() > 0
+
+    def test_different_context_misses_pass_cache(self):
+        cache = AnalysisCache()
+        run_passes(lu_point_ir(), self.SPEC, ctx=lu_ctx(), cache=cache)
+        run_passes(
+            lu_point_ir(),
+            self.SPEC,
+            ctx=Assumptions().assume_ge("N", 3),
+            cache=cache,
+        )
+        assert cache.passes.hits == 0
+        assert cache.passes.misses == 2
+
+    def test_unserializable_option_skips_memoization(self):
+        cache = AnalysisCache()
+        spec = [("block", {"loop": "K", "factor": "KS", "ignore_dep": lambda p, l, d: False})]
+        run_passes(lu_point_ir(), spec, ctx=lu_ctx(), cache=cache)
+        run_passes(lu_point_ir(), spec, ctx=lu_ctx(), cache=cache)
+        assert cache.passes.hits == 0
+        assert cache.passes.misses == 0
+
+
+class TestInstallation:
+    HOOKS = [
+        (dep_mod, "_memo_hook"),
+        (feas_mod, "_feasible_memo_hook"),
+        (feas_mod, "_direction_memo_hook"),
+        (sec_mod, "_memo_hook"),
+    ]
+
+    def test_hooks_restored_after_context_exit(self):
+        for mod, attr in self.HOOKS:
+            assert getattr(mod, attr) is None
+        with installed(AnalysisCache()):
+            for mod, attr in self.HOOKS:
+                assert getattr(mod, attr) is not None
+        for mod, attr in self.HOOKS:
+            assert getattr(mod, attr) is None
+
+    def test_nested_installs_restore_the_outer_cache(self):
+        outer, inner = AnalysisCache(), AnalysisCache()
+        p = lu_point_ir()
+        with installed(outer):
+            with installed(inner):
+                all_dependences(p.body[0], lu_ctx())
+                assert inner.dependence.misses == 1
+            all_dependences(p.body[0], lu_ctx())
+            assert outer.dependence.misses == 1  # outer saw nothing inner did
+        assert dep_mod._memo_hook is None
+
+    def test_unbalanced_uninstall_resets_to_bare_hooks(self):
+        # tolerated (reset to None), so a leaked install can't wedge the
+        # analysis modules for the rest of the process
+        uninstall()
+        for mod, attr in self.HOOKS:
+            assert getattr(mod, attr) is None
+
+    def test_clear_resets_counters_and_entries(self):
+        cache = AnalysisCache()
+        with installed(cache):
+            all_dependences(lu_point_ir().body[0], lu_ctx())
+        assert cache.dependence.misses > 0
+        cache.clear()
+        for region, stats in cache.stats().items():
+            assert stats == {
+                "hits": 0,
+                "misses": 0,
+                "entries": 0,
+                "hit_rate": 0.0,
+            }, region

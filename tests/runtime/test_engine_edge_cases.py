@@ -1,0 +1,214 @@
+"""Cross-engine edge cases: zero-trip DO, IntDiv on negatives, bounds-once.
+
+Fortran-77 semantics the two engines must agree on *exactly*:
+
+- a DO whose iteration count is zero or negative executes its body zero
+  times (DO I = 3, 2 falls straight through);
+- integer division truncates toward zero, including for negative
+  operands (-7/2 = -3, 7/-2 = -3, -7/-2 = 3) — *not* Python floor;
+- loop bounds are evaluated once on entry; assignments to a bound
+  variable inside the body do not change the trip count.
+
+Each case runs plain (array results compared) and, where access order
+matters, traced (tracer event sequences compared element-wise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir.build import assign, do, ref
+from repro.ir.expr import BinOp, Const, IntDiv, Var
+from repro.ir.stmt import ArrayDecl, Procedure
+from repro.runtime.codegen import compile_procedure
+from repro.runtime.interpreter import execute, idiv
+
+
+class RecordingTracer:
+    def __init__(self):
+        self.events: list[tuple[str, tuple[int, ...], bool]] = []
+
+    def access(self, array, index, is_write):
+        self.events.append((array, tuple(index), is_write))
+
+
+def run_both(proc, sizes, tracer_pair=None, seed=0):
+    """Execute on both engines; return (interp_env, codegen_env)."""
+    if tracer_pair is None:
+        ei = execute(proc, sizes, seed=seed)
+        ec = compile_procedure(proc)(sizes, seed=seed)
+    else:
+        ti, tc = tracer_pair
+        ei = execute(proc, sizes, tracer=ti, seed=seed)
+        ec = compile_procedure(proc, traced=True)(sizes, tracer=tc, seed=seed)
+    for a in proc.arrays:
+        assert np.array_equal(ei[a.name], ec[a.name]), a.name
+    return ei, ec
+
+
+class TestIntDivTruncation:
+    def test_idiv_helper_truncates_toward_zero(self):
+        assert idiv(-7, 2) == -3
+        assert idiv(7, -2) == -3
+        assert idiv(-7, -2) == 3
+        assert idiv(7, 2) == 3
+
+    def test_intdiv_node_on_negative_constants(self):
+        p = Procedure(
+            "negdiv",
+            (),
+            (ArrayDecl("OUT", (Const(4),), dtype="i8"),),
+            (
+                assign(ref("OUT", 1), IntDiv(Const(-7), Const(2))),
+                assign(ref("OUT", 2), IntDiv(Const(7), Const(-2))),
+                assign(ref("OUT", 3), IntDiv(Const(-7), Const(-2))),
+                assign(ref("OUT", 4), IntDiv(Const(7), Const(2))),
+            ),
+        )
+        ei, _ = run_both(p, {})
+        assert ei["OUT"].tolist() == [-3, -3, 3, 3]
+
+    def test_int_slash_on_runtime_negatives(self):
+        # (I - 5) / 2 sweeps through negative, zero, positive numerators;
+        # the plain "/" BinOp on two ints must hit the same idiv path.
+        p = Procedure(
+            "rundiv",
+            ("N",),
+            (ArrayDecl("OUT", (Var("N"),), dtype="i8"),),
+            (
+                do(
+                    "I",
+                    1,
+                    "N",
+                    assign(
+                        ref("OUT", "I"),
+                        BinOp("/", Var("I") - Const(5), Const(2)),
+                    ),
+                ),
+            ),
+        )
+        ei, _ = run_both(p, {"N": 7})
+        assert ei["OUT"].tolist() == [-2, -1, -1, 0, 0, 0, 1]
+
+
+class TestZeroTripLoops:
+    def _counter_proc(self):
+        # Each loop bumps its own counter; zero-trip loops must leave 0.
+        return Procedure(
+            "trips",
+            ("N",),
+            (ArrayDecl("CNT", (Const(3),), dtype="i8"),),
+            (
+                do("I", 3, 2, assign(ref("CNT", 1), ref("CNT", 1) + 1)),
+                do(
+                    "J",
+                    1,
+                    Var("N") - Const(1),
+                    assign(ref("CNT", 2), ref("CNT", 2) + 1),
+                ),
+                do(
+                    "K",
+                    5,
+                    1,
+                    assign(ref("CNT", 3), ref("CNT", 3) + 1),
+                    step=-1,
+                ),
+            ),
+        )
+
+    def test_zero_trip_bodies_never_run(self):
+        ei, _ = run_both(self._counter_proc(), {"N": 1})
+        # DO 3,2 -> 0 trips; DO 1,N-1 with N=1 -> 0 trips; DO 5,1,-1 -> 5.
+        assert ei["CNT"].tolist() == [0, 0, 5]
+
+    def test_symbolic_bound_becomes_positive(self):
+        ei, _ = run_both(self._counter_proc(), {"N": 4})
+        assert ei["CNT"].tolist() == [0, 3, 5]
+
+    def test_zero_trip_emits_no_traced_accesses(self):
+        p = Procedure(
+            "zt",
+            ("N",),
+            (ArrayDecl("A", (Const(8),)),),
+            (
+                do(
+                    "I",
+                    1,
+                    Var("N") - Const(1),
+                    assign(ref("A", "I"), ref("A", "I") * 2.0),
+                ),
+            ),
+        )
+        ti, tc = RecordingTracer(), RecordingTracer()
+        run_both(p, {"N": 1}, tracer_pair=(ti, tc))
+        assert ti.events == []
+        assert tc.events == []
+
+
+class TestBoundsEvaluatedOnce:
+    def _mutating_proc(self):
+        # The body rewrites the loop's own upper-bound variable; F77
+        # evaluates bounds once, so the trip count stays at the entry M.
+        return Procedure(
+            "once",
+            ("M",),
+            (ArrayDecl("CNT", (Const(1),), dtype="i8"),),
+            (
+                do(
+                    "I",
+                    1,
+                    "M",
+                    assign(Var("M"), Var("M") + 1),
+                    assign(ref("CNT", 1), ref("CNT", 1) + 1),
+                ),
+            ),
+        )
+
+    def test_trip_count_fixed_at_entry(self):
+        ei, _ = run_both(self._mutating_proc(), {"M": 4})
+        assert ei["CNT"].tolist() == [4]
+
+    def test_interpreter_sees_final_scalar(self):
+        # Scalar mutation is visible in the interpreter env (codegen
+        # passes scalars by value, so only arrays are comparable).
+        env = execute(self._mutating_proc(), {"M": 4})
+        assert env["M"] == 8
+
+
+class TestTracedAgreement:
+    def test_access_sequences_identical(self):
+        p = Procedure(
+            "seq",
+            ("N",),
+            (ArrayDecl("A", (Var("N"),)), ArrayDecl("B", (Var("N"),))),
+            (
+                do(
+                    "I",
+                    1,
+                    "N",
+                    assign(ref("B", "I"), ref("A", "I") + ref("A", 1)),
+                ),
+            ),
+        )
+        ti, tc = RecordingTracer(), RecordingTracer()
+        run_both(p, {"N": 5}, tracer_pair=(ti, tc))
+        assert ti.events == tc.events
+        # per iteration: read A(I), read A(1), then write B(I)
+        assert ti.events[:3] == [
+            ("A", (1,), False),
+            ("A", (1,), False),
+            ("B", (1,), True),
+        ]
+        assert len(ti.events) == 15
+
+    def test_plain_compile_rejects_tracer(self):
+        p = Procedure(
+            "p",
+            ("N",),
+            (ArrayDecl("A", (Var("N"),)),),
+            (do("I", 1, "N", assign(ref("A", "I"), Const(0.0))),),
+        )
+        run = compile_procedure(p)
+        with pytest.raises(ValueError):
+            run({"N": 3}, tracer=RecordingTracer())
