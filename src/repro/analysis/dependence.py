@@ -31,8 +31,11 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Optional, Sequence
 
+from time import perf_counter as _perf_counter
+
 from repro.analysis.refs import RefAccess, collect_accesses
 from repro.analysis.subscripts import analyze_subscript
+from repro.obs.core import current as _obs_current
 from repro.ir.stmt import Loop, Procedure, Stmt
 from repro.symbolic.affine import to_affine
 from repro.symbolic.assume import Assumptions
@@ -348,11 +351,28 @@ def all_dependences(
     ctx: Optional[Assumptions] = None,
     include_input: bool = False,
 ) -> list[Dependence]:
-    """Every dependence among array accesses under ``root``."""
+    """Every dependence among array accesses under ``root``.
+
+    Reports query count, result size, and latency into the active
+    :mod:`repro.obs` observer (counters ``dependence.queries`` /
+    ``dependence.edges``, histogram ``dependence.latency_s``); cache hits
+    are included — per-region hit rates live in the analysis cache stats.
+    """
     ctx = ctx or Assumptions()
+    _obs = _obs_current()
+    if _obs is None:
+        if _memo_hook is not None:
+            return _memo_hook(root, ctx, include_input, _all_dependences_uncached)
+        return _all_dependences_uncached(root, ctx, include_input)
+    t0 = _perf_counter()
     if _memo_hook is not None:
-        return _memo_hook(root, ctx, include_input, _all_dependences_uncached)
-    return _all_dependences_uncached(root, ctx, include_input)
+        deps = _memo_hook(root, ctx, include_input, _all_dependences_uncached)
+    else:
+        deps = _all_dependences_uncached(root, ctx, include_input)
+    _obs.count("dependence.queries")
+    _obs.count("dependence.edges", len(deps))
+    _obs.observe("dependence.latency_s", _perf_counter() - t0)
+    return deps
 
 
 def _all_dependences_uncached(

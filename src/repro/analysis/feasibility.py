@@ -29,9 +29,12 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Iterable, Optional, Sequence
 
+from time import perf_counter as _perf_counter
+
 from repro.analysis.refs import RefAccess
 from repro.ir.expr import Expr, Max, Min
 from repro.ir.stmt import Loop
+from repro.obs.core import current as _obs_current
 from repro.symbolic.affine import Affine, to_affine
 from repro.symbolic.assume import Assumptions
 
@@ -60,11 +63,23 @@ def feasible(constraints: Sequence[Affine]) -> bool:
     """Is the conjunction ``aff >= 0`` for all affs rationally satisfiable?
 
     Returns True (conservatively) when the elimination exceeds the size
-    guard.
+    guard.  Reports query count and latency into the active
+    :mod:`repro.obs` observer (``fm.feasible.queries`` /
+    ``fm.feasible.latency_s``).
     """
+    _obs = _obs_current()
+    if _obs is None:
+        if _feasible_memo_hook is not None:
+            return _feasible_memo_hook(constraints, _feasible_uncached)
+        return _feasible_uncached(constraints)
+    t0 = _perf_counter()
     if _feasible_memo_hook is not None:
-        return _feasible_memo_hook(constraints, _feasible_uncached)
-    return _feasible_uncached(constraints)
+        result = _feasible_memo_hook(constraints, _feasible_uncached)
+    else:
+        result = _feasible_uncached(constraints)
+    _obs.count("fm.feasible.queries")
+    _obs.observe("fm.feasible.latency_s", _perf_counter() - t0)
+    return result
 
 
 def _feasible_uncached(constraints: Sequence[Affine]) -> bool:
@@ -206,13 +221,28 @@ def direction_feasible(
     both sides — used for queries *relative to* an inner loop, where the
     enclosing loops are at the same iteration by definition.
     True = cannot rule out; False = proved impossible.
+
+    Reports query count and latency into the active :mod:`repro.obs`
+    observer (``fm.direction.queries`` / ``fm.direction.latency_s``).
     """
     ctx = ctx or Assumptions()
+    _obs = _obs_current()
+    if _obs is None:
+        if _direction_memo_hook is not None:
+            return _direction_memo_hook(
+                a, b, directions, common, ctx, pinned, _direction_feasible_uncached
+            )
+        return _direction_feasible_uncached(a, b, directions, common, ctx, pinned)
+    t0 = _perf_counter()
     if _direction_memo_hook is not None:
-        return _direction_memo_hook(
+        result = _direction_memo_hook(
             a, b, directions, common, ctx, pinned, _direction_feasible_uncached
         )
-    return _direction_feasible_uncached(a, b, directions, common, ctx, pinned)
+    else:
+        result = _direction_feasible_uncached(a, b, directions, common, ctx, pinned)
+    _obs.count("fm.direction.queries")
+    _obs.observe("fm.direction.latency_s", _perf_counter() - t0)
+    return result
 
 
 def _direction_feasible_uncached(

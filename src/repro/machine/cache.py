@@ -93,6 +93,29 @@ class CacheStats:
             self.writebacks + other.writebacks,
         )
 
+    def to_dict(self) -> dict:
+        """JSON form; ``hits``/``miss_ratio`` are derived and included for
+        readers, ignored by :meth:`from_dict`."""
+        return {
+            "accesses": self.accesses,
+            "misses": self.misses,
+            "reads": self.reads,
+            "writes": self.writes,
+            "writebacks": self.writebacks,
+            "hits": self.hits,
+            "miss_ratio": self.miss_ratio,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "CacheStats":
+        return CacheStats(
+            accesses=int(d.get("accesses", 0)),
+            misses=int(d.get("misses", 0)),
+            reads=int(d.get("reads", 0)),
+            writes=int(d.get("writes", 0)),
+            writebacks=int(d.get("writebacks", 0)),
+        )
+
 
 class Cache:
     """Trace-driven cache with LRU replacement.

@@ -8,6 +8,8 @@ from repro.ir.stmt import Procedure
 from repro.machine.cache import Cache, CacheStats
 from repro.machine.layout import Layout
 from repro.machine.model import MachineModel
+from repro.obs import core as obs
+from repro.obs.attribution import MissAttribution, Provenance
 
 
 class CacheTracer:
@@ -18,23 +20,59 @@ class CacheTracer:
     :class:`Layout` to a byte address and driven through both.  Per-array
     access counts are kept for the locality breakdowns some benchmark
     tables print.
+
+    Stores are driven through the TLB with their write flag intact, so a
+    TLB entry touched by a store is marked dirty and its later eviction
+    counts as a TLB write-back — modeling the page-table write-back (the
+    dirty/reference PTE update) that a real MMU performs on evicting a
+    dirty translation.  The default cost model charges TLB *misses* only;
+    the write-back count is reported for analyses that want it.
+
+    When ``provenance`` and ``attribution`` are supplied (see
+    :mod:`repro.obs.attribution`), every access is additionally charged to
+    the (loop nest, statement, array) site the interpreter is currently
+    executing — the per-loop miss breakdown that explains the tables.
     """
 
-    def __init__(self, layout: Layout, cache: Cache, tlb: Optional[Cache] = None):
+    def __init__(
+        self,
+        layout: Layout,
+        cache: Cache,
+        tlb: Optional[Cache] = None,
+        provenance: Optional[Provenance] = None,
+        attribution: Optional[MissAttribution] = None,
+    ):
         self.layout = layout
         self.cache = cache
         self.tlb = tlb
+        self.provenance = provenance
+        self.attribution = attribution
         self.per_array: dict[str, int] = {}
         self.per_array_misses: dict[str, int] = {}
 
     def access(self, array: str, index: tuple[int, ...], is_write: bool) -> None:
         addr = self.layout.address(array, index)
+        attribution = self.attribution
+        if attribution is not None:
+            wb_before = self.cache.stats.writebacks
         hit = self.cache.access(addr, is_write)
+        tlb_miss = False
         if self.tlb is not None:
-            self.tlb.access(addr, False)
+            tlb_miss = not self.tlb.access(addr, is_write)
         self.per_array[array] = self.per_array.get(array, 0) + 1
         if not hit:
             self.per_array_misses[array] = self.per_array_misses.get(array, 0) + 1
+        if attribution is not None:
+            prov = self.provenance
+            attribution.record(
+                prov.path,
+                prov.stmt,
+                array,
+                is_write,
+                not hit,
+                self.cache.stats.writebacks - wb_before,
+                tlb_miss,
+            )
 
     @property
     def stats(self) -> CacheStats:
@@ -52,19 +90,49 @@ def trace_procedure(
     arrays: Optional[Mapping] = None,
     seed: int = 0,
     dtype_override: str | None = None,
+    engine: str = "codegen",
+    attribute: bool = False,
 ) -> CacheTracer:
     """Run ``proc`` (compiled, traced) against ``machine``'s cache.
 
     Returns the tracer; ``tracer.stats`` has the miss counts and
     ``machine.cost.seconds(tracer.stats)`` the modeled time.
+
+    ``engine`` selects the execution engine: ``"codegen"`` (compiled,
+    the fast default) or ``"interpreter"``.  ``attribute=True`` switches
+    to the interpreter (the engine that maintains execution provenance)
+    and fills ``tracer.attribution`` with the per-loop/statement/array
+    miss breakdown.
     """
-    from repro.runtime.codegen import compile_procedure
+    from repro.errors import MachineError
+
+    if attribute:
+        engine = "interpreter"
+    if engine not in ("codegen", "interpreter"):
+        raise MachineError(f"unknown trace engine {engine!r}")
 
     layout = Layout.for_procedure(
         proc, sizes, line_bytes=machine.cache.line_bytes, dtype_override=dtype_override
     )
     tlb = Cache(machine.tlb) if machine.tlb is not None else None
-    tracer = CacheTracer(layout, Cache(machine.cache), tlb)
-    runner = compile_procedure(proc, traced=True)
-    runner(sizes, arrays=arrays, tracer=tracer, seed=seed)
+    provenance = Provenance(proc.name) if attribute else None
+    attribution = MissAttribution() if attribute else None
+    tracer = CacheTracer(
+        layout, Cache(machine.cache), tlb, provenance=provenance, attribution=attribution
+    )
+    with obs.span(f"trace:{proc.name}", cat="machine", engine=engine) as span_args:
+        if engine == "interpreter":
+            from repro.runtime.interpreter import execute
+
+            execute(
+                proc, sizes, arrays=arrays, tracer=tracer, seed=seed,
+                provenance=provenance,
+            )
+        else:
+            from repro.runtime.codegen import compile_procedure
+
+            runner = compile_procedure(proc, traced=True)
+            runner(sizes, arrays=arrays, tracer=tracer, seed=seed)
+        span_args["accesses"] = tracer.stats.accesses
+        span_args["misses"] = tracer.stats.misses
     return tracer

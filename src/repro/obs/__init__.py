@@ -1,0 +1,64 @@
+"""repro.obs — stack-wide tracing, metrics, and loop-level miss attribution.
+
+Zero-dependency observability for the whole reproduction stack:
+
+- :mod:`repro.obs.core` — counters, histograms, and hierarchical spans
+  behind a context-var "active observer"; near-zero cost when disabled.
+  The analysis engines (dependence, Fourier–Motzkin), the pass manager,
+  the interpreter, and the cache-simulator glue all report into it.
+- :mod:`repro.obs.attribution` — the (procedure, loop nest, statement)
+  provenance the interpreter maintains, and the per-loop / per-statement /
+  per-array miss and dirty-eviction breakdowns built from it.
+- :mod:`repro.obs.export` — Chrome trace-event JSON (loadable in
+  Perfetto) and the ``repro.obs/1`` metrics schema, with a validator.
+- ``python -m repro.obs`` — run any pipeline workload end to end
+  (derivation + simulated execution) and render a text profile: top loops
+  by misses, top passes by wall time, analysis-cache efficiency.
+
+Quick use::
+
+    from repro.obs import Obs, enabled, metrics
+    with enabled() as o:
+        ...run anything instrumented...
+    doc = metrics(o)
+"""
+
+from __future__ import annotations
+
+from repro.obs.core import (
+    Histogram,
+    Obs,
+    SpanEvent,
+    count,
+    current,
+    enabled,
+    observe,
+    span,
+)
+from repro.obs.attribution import MissAttribution, Provenance, stmt_label
+from repro.obs.export import (
+    SCHEMA,
+    chrome_trace,
+    metrics,
+    validate_metrics,
+    write_json,
+)
+
+__all__ = [
+    "Histogram",
+    "MissAttribution",
+    "Obs",
+    "Provenance",
+    "SCHEMA",
+    "SpanEvent",
+    "chrome_trace",
+    "count",
+    "current",
+    "enabled",
+    "metrics",
+    "observe",
+    "span",
+    "stmt_label",
+    "validate_metrics",
+    "write_json",
+]

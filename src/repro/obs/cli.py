@@ -1,0 +1,224 @@
+"""Command-line front end: ``python -m repro.obs``.
+
+Runs a named pipeline workload end to end under observation — the
+derivation through the pass manager, then the derived procedure through
+the interpreter + cache/TLB simulator with miss attribution on — and
+renders a text profile: top loops by misses, top statements, top arrays,
+top passes by wall time, and analysis-cache efficiency.
+
+Examples::
+
+    python -m repro.obs --list
+    python -m repro.obs lu_nopivot
+    python -m repro.obs lu_nopivot --chrome-trace t.json --metrics m.json
+    python -m repro.obs conv --passes split,jam,scalars --sizes N1=48,N2=36,N3=40
+    python -m repro.obs givens --scale 2 --top 5
+
+The Chrome trace loads directly in Perfetto (https://ui.perfetto.dev →
+"Open trace file"); the metrics JSON follows the ``repro.obs/1`` schema
+(:mod:`repro.obs.export`) and is validated before it is written.  Exit
+status: 0 on success, 1 when the emitted metrics fail validation, 2 for
+usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.errors import PipelineError, ReproError
+from repro.machine.model import scaled_machine
+from repro.machine.tracer import trace_procedure
+from repro.obs import core as obs_core
+from repro.obs import export
+from repro.pipeline.cache import AnalysisCache
+from repro.pipeline.manager import PassManager
+from repro.pipeline.workloads import available_workloads, get_workload
+
+
+def _parse_sizes(text: str) -> dict:
+    sizes = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise PipelineError(f"bad --sizes entry {part!r} (want NAME=VALUE)")
+        name, value = part.split("=", 1)
+        try:
+            sizes[name.strip()] = float(value) if "." in value else int(value)
+        except ValueError:
+            raise PipelineError(f"bad --sizes value {value!r}") from None
+    return sizes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="profile a pipeline workload: spans, metrics, per-loop misses",
+    )
+    p.add_argument("workload", nargs="?", help="workload name (see --list)")
+    p.add_argument(
+        "--passes", "-p",
+        help="comma-separated pass names (default: the workload's pipeline)",
+    )
+    p.add_argument("--sizes", help="override execution sizes, e.g. N=16,KS=4")
+    p.add_argument(
+        "--scale", type=int, default=4,
+        help="machine geometry scale for the simulated run (default 4)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="array-data seed")
+    p.add_argument(
+        "--top", type=int, default=10, help="rows per profile section (default 10)"
+    )
+    p.add_argument(
+        "--chrome-trace", metavar="PATH",
+        help="write a Perfetto-loadable Chrome trace-event JSON here",
+    )
+    p.add_argument(
+        "--metrics", metavar="PATH",
+        help="write the repro.obs/1 metrics JSON here",
+    )
+    p.add_argument("--list", action="store_true", help="list workloads and exit")
+    return p
+
+
+def _fmt_row(name: str, row: dict, total_misses: int) -> str:
+    share = row["misses"] / total_misses if total_misses else 0.0
+    return (
+        f"  {name:<40} {row['misses']:>10} misses ({share:6.1%})"
+        f"  {row['accesses']:>10} refs  {row['writebacks']:>7} wb"
+        f"  {row['tlb_misses']:>7} tlb"
+    )
+
+
+def _top(view: dict, k: int) -> list[tuple[str, dict]]:
+    return sorted(view.items(), key=lambda kv: -kv[1]["misses"])[:k]
+
+
+def render_profile(
+    workload_name: str,
+    result,
+    tracer,
+    machine,
+    obs_obj: obs_core.Obs,
+    top: int = 10,
+) -> str:
+    """The text profile printed by the CLI (pure function, for tests)."""
+    attribution = tracer.attribution
+    stats = tracer.stats
+    lines = [f"repro.obs profile — {workload_name}  [{machine.describe()}]"]
+
+    lines.append("\npasses (by wall time):")
+    spans = sorted(result.spans, key=lambda s: -s.wall_s)[:top]
+    for s in spans:
+        cached = " (cached)" if s.cached else ""
+        lines.append(
+            f"  {s.name:<16} {s.status:<10} {s.wall_s * 1000:9.1f} ms{cached}"
+        )
+
+    totals = attribution.totals()
+    lines.append(
+        f"\nsimulated run: {stats.accesses} refs, {stats.misses} misses "
+        f"({stats.miss_ratio:.1%}), {stats.writebacks} writebacks, "
+        f"modeled {machine.cost.seconds(stats, tracer.tlb_stats) * 1e3:.3f} ms"
+    )
+
+    lines.append("\nloops (by misses):")
+    for name, row in _top(attribution.by_loop(), top):
+        lines.append(_fmt_row(name, row, totals["misses"]))
+    lines.append("\nstatements (by misses):")
+    for name, row in _top(attribution.by_statement(), top):
+        lines.append(_fmt_row(name, row, totals["misses"]))
+    lines.append("\narrays (by misses):")
+    for name, row in _top(attribution.by_array(), top):
+        lines.append(_fmt_row(name, row, totals["misses"]))
+
+    lines.append("\nanalysis cache:")
+    for region, st in result.trace["cache"].items():
+        lines.append(
+            f"  {region:<12} {st['hits']:>6} hits / {st['misses']:>6} misses"
+            f"  ({st['hit_rate']:.0%})"
+        )
+
+    interesting = (
+        "dependence.queries", "dependence.edges",
+        "fm.feasible.queries", "fm.direction.queries",
+    )
+    counted = [(k, obs_obj.counters[k]) for k in interesting if k in obs_obj.counters]
+    if counted:
+        lines.append("\nanalysis engines:")
+        for k, v in counted:
+            lines.append(f"  {k:<24} {v}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list:
+        for w in available_workloads():
+            print(f"{w.name:<12} {w.title}")
+        return 0
+    if not args.workload:
+        print("error: a workload name is required (or --list)", file=sys.stderr)
+        return 2
+
+    try:
+        workload = get_workload(args.workload)
+        pass_names = (
+            [s.strip() for s in args.passes.split(",") if s.strip()]
+            if args.passes
+            else None
+        )
+        specs = workload.resolve_specs(pass_names)
+        sizes = dict(workload.verify_sizes)
+        if args.sizes:
+            sizes.update(_parse_sizes(args.sizes))
+        machine = scaled_machine(args.scale)
+        cache = AnalysisCache()
+        manager = PassManager(
+            specs, ctx=workload.context(None), cache=cache, algorithm=workload.name
+        )
+        proc = workload.build()
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    obs_obj = obs_core.Obs()
+    try:
+        with obs_core.enabled(obs_obj):
+            result = manager.run(proc)
+            tracer = trace_procedure(
+                result.procedure, sizes, machine, seed=args.seed, attribute=True
+            )
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    print(render_profile(workload.name, result, tracer, machine, obs_obj, args.top))
+
+    status = 0
+    if args.chrome_trace:
+        export.write_json(args.chrome_trace, export.chrome_trace(obs_obj))
+        print(f"\nchrome trace written to {args.chrome_trace} "
+              "(open at https://ui.perfetto.dev)")
+    if args.metrics:
+        doc = export.metrics(
+            obs_obj,
+            meta={"workload": workload.name, "machine": machine.name,
+                  "sizes": sizes, "passes": [s.name for s in result.spans]},
+            attribution=tracer.attribution,
+            analysis_cache=result.trace["cache"],
+            machine_cache=tracer.stats,
+            machine_tlb=tracer.tlb_stats,
+        )
+        errors = export.validate_metrics(doc)
+        export.write_json(args.metrics, doc)
+        print(f"metrics written to {args.metrics}")
+        if errors:
+            for err in errors:
+                print(f"METRICS INVALID: {err}", file=sys.stderr)
+            status = 1
+    return status

@@ -1,0 +1,183 @@
+"""The span/metrics core of :mod:`repro.obs`.
+
+One :class:`Obs` object collects everything a run produces:
+
+- **counters** — monotonically increasing named integers
+  (``dependence.queries``, ``fm.feasible.queries``, ...);
+- **histograms** — named value streams summarized online (count / total /
+  min / max; latencies in seconds by convention, suffix ``_s``);
+- **spans** — timed intervals, either opened with the :meth:`Obs.span`
+  context manager (nesting tracked through a stack, so the Chrome trace
+  shows the hierarchy) or reported after the fact with :meth:`Obs.event`
+  for code that already measured itself (the pass manager's
+  :class:`~repro.pipeline.manager.SpanRecord`).
+
+The *active* observer is held in a :class:`contextvars.ContextVar`;
+instrumented modules call the module-level :func:`current`, :func:`count`,
+:func:`observe`, and :func:`span` helpers, all of which reduce to a single
+context-var read plus a ``None`` check when observation is disabled — the
+instrumentation must stay effectively free in ordinary test and benchmark
+runs.  This module deliberately imports nothing from the rest of
+``repro`` so any layer (analysis, runtime, machine, pipeline) can report
+into it without import cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass
+class SpanEvent:
+    """One finished timed interval.
+
+    ``ts``/``dur`` are seconds relative to the owning :class:`Obs` epoch;
+    ``depth`` is the nesting level at the time the span was *open* (0 for
+    roots), used by the text profile — the Chrome exporter reconstructs
+    nesting from the timestamps instead.
+    """
+
+    name: str
+    cat: str
+    ts: float
+    dur: float
+    depth: int
+    args: dict = field(default_factory=dict)
+
+
+class Histogram:
+    """Online summary of a value stream: count, total, min, max."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class Obs:
+    """A single run's worth of counters, histograms, and spans."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self.epoch = clock()
+        self.counters: dict[str, int] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.spans: list[SpanEvent] = []
+        self._depth = 0
+
+    # ---- counters / histograms -------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    # ---- spans ------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, cat: str = "", **args) -> Iterator[dict]:
+        """Open a nested span; yields the (mutable) args dict so outcome
+        attributes can be attached before the span closes."""
+        t0 = self._clock()
+        depth = self._depth
+        self._depth = depth + 1
+        try:
+            yield args
+        finally:
+            self._depth = depth
+            self.spans.append(
+                SpanEvent(name, cat, t0 - self.epoch, self._clock() - t0, depth, args)
+            )
+
+    def event(self, name: str, cat: str = "", start: float = 0.0, dur: float = 0.0, **args) -> None:
+        """Report an interval timed elsewhere; ``start`` is an absolute
+        value of this observer's clock (``time.perf_counter`` by default)."""
+        self.spans.append(SpanEvent(name, cat, start - self.epoch, dur, self._depth, args))
+
+    # ---- summaries ---------------------------------------------------------
+    def span_summary(self) -> dict[str, dict]:
+        """Per-name aggregate over the finished spans."""
+        out: dict[str, dict] = {}
+        for s in self.spans:
+            row = out.setdefault(s.name, {"count": 0, "total_s": 0.0, "max_s": 0.0})
+            row["count"] += 1
+            row["total_s"] += s.dur
+            if s.dur > row["max_s"]:
+                row["max_s"] = s.dur
+        return dict(sorted(out.items()))
+
+
+# ---------------------------------------------------------------------------
+# the active observer
+# ---------------------------------------------------------------------------
+
+_CURRENT: ContextVar[Optional[Obs]] = ContextVar("repro_obs", default=None)
+
+
+def current() -> Optional[Obs]:
+    """The active observer, or None when observation is disabled."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def enabled(obs: Optional[Obs] = None) -> Iterator[Obs]:
+    """Activate ``obs`` (a fresh one by default) for the dynamic extent."""
+    obs = obs if obs is not None else Obs()
+    token = _CURRENT.set(obs)
+    try:
+        yield obs
+    finally:
+        _CURRENT.reset(token)
+
+
+def count(name: str, n: int = 1) -> None:
+    o = _CURRENT.get()
+    if o is not None:
+        o.count(name, n)
+
+
+def observe(name: str, value: float) -> None:
+    o = _CURRENT.get()
+    if o is not None:
+        o.observe(name, value)
+
+
+@contextmanager
+def span(name: str, cat: str = "", **args) -> Iterator[dict]:
+    """Module-level span: records into the active observer, no-op otherwise."""
+    o = _CURRENT.get()
+    if o is None:
+        yield args
+        return
+    with o.span(name, cat, **args) as a:
+        yield a

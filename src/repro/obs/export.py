@@ -1,0 +1,181 @@
+"""Exporters for :mod:`repro.obs`: Chrome trace-event JSON and metrics.
+
+Two artifact formats come out of an observed run:
+
+- :func:`chrome_trace` — the Chrome trace-event format (complete ``"X"``
+  events), loadable directly in Perfetto (https://ui.perfetto.dev → "Open
+  trace file") or ``chrome://tracing``;
+- :func:`metrics` — the ``repro.obs/1`` schema below, the machine-readable
+  profile that BENCH artifacts and CI validate.
+
+.. code-block:: text
+
+    {
+      "schema": "repro.obs/1",
+      "meta": {"workload": "lu_nopivot", ...},        # free-form strings
+      "counters": {"dependence.queries": 41, ...},
+      "histograms": {"fm.feasible.latency_s":
+                     {"count", "total", "min", "max", "mean"}, ...},
+      "spans": {"pass:block": {"count", "total_s", "max_s"}, ...},
+      "analysis_cache": {"dependence": {"hits","misses","entries",
+                                        "hit_rate"}, ...},
+      "machine": {"cache": CacheStats dict | null, "tlb": ... | null},
+      "attribution": {"rows": [{"loop","statement","array","accesses",
+                                "misses","writebacks","tlb_misses",
+                                "writes"}, ...],
+                      "by_loop": {...}, "by_statement": {...},
+                      "by_array": {...}, "totals": {...}} | null
+    }
+
+:func:`validate_metrics` checks a document against that shape and — the
+load-bearing invariant — that the attribution views each sum exactly to
+the attribution totals, and that those totals match the machine-level
+``CacheStats`` when both are present.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.obs.core import Obs
+
+SCHEMA = "repro.obs/1"
+
+_ATTR_FIELDS = ("accesses", "misses", "writebacks", "tlb_misses", "writes")
+
+
+def chrome_trace(obs: Obs) -> dict:
+    """Chrome trace-event JSON for the run's spans (one process, one
+    thread; nesting is positional, from timestamps)."""
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 1,
+         "args": {"name": "repro"}},
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+         "args": {"name": "pipeline+simulator"}},
+    ]
+    for s in sorted(obs.spans, key=lambda s: s.ts):
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.cat or "repro",
+                "ph": "X",
+                "ts": round(s.ts * 1e6, 3),
+                "dur": max(round(s.dur * 1e6, 3), 0.001),
+                "pid": 1,
+                "tid": 1,
+                "args": s.args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"schema": SCHEMA}}
+
+
+def metrics(
+    obs: Obs,
+    meta: Optional[dict] = None,
+    attribution=None,
+    analysis_cache: Optional[dict] = None,
+    machine_cache=None,
+    machine_tlb=None,
+) -> dict:
+    """Build a ``repro.obs/1`` metrics document.
+
+    ``attribution`` is a :class:`~repro.obs.attribution.MissAttribution`
+    (or None); ``machine_cache``/``machine_tlb`` are
+    :class:`~repro.machine.cache.CacheStats` (or None);
+    ``analysis_cache`` is an :meth:`AnalysisCache.stats` dict.
+    """
+    return {
+        "schema": SCHEMA,
+        "meta": {k: str(v) for k, v in (meta or {}).items()},
+        "counters": dict(sorted(obs.counters.items())),
+        "histograms": {
+            name: h.summary() for name, h in sorted(obs.histograms.items())
+        },
+        "spans": obs.span_summary(),
+        "analysis_cache": analysis_cache or {},
+        "machine": {
+            "cache": machine_cache.to_dict() if machine_cache is not None else None,
+            "tlb": machine_tlb.to_dict() if machine_tlb is not None else None,
+        },
+        "attribution": attribution.to_dict() if attribution is not None else None,
+    }
+
+
+def _sum_view(view: dict, field: str) -> int:
+    return sum(row[field] for row in view.values())
+
+
+def validate_metrics(doc: dict) -> list[str]:
+    """Validate a ``repro.obs/1`` document; returns a list of problems
+    (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    for key in ("meta", "counters", "histograms", "spans", "analysis_cache", "machine"):
+        if not isinstance(doc.get(key), dict):
+            errors.append(f"missing or non-object field {key!r}")
+    if errors:
+        return errors
+
+    for name, v in doc["counters"].items():
+        if not isinstance(v, int):
+            errors.append(f"counter {name!r} is not an integer")
+    for name, h in doc["histograms"].items():
+        missing = {"count", "total", "min", "max", "mean"} - set(h)
+        if missing:
+            errors.append(f"histogram {name!r} missing {sorted(missing)}")
+    for name, s in doc["spans"].items():
+        missing = {"count", "total_s", "max_s"} - set(s)
+        if missing:
+            errors.append(f"span summary {name!r} missing {sorted(missing)}")
+
+    attribution = doc.get("attribution")
+    if attribution is not None:
+        for key in ("rows", "by_loop", "by_statement", "by_array", "totals"):
+            if key not in attribution:
+                errors.append(f"attribution missing {key!r}")
+        if errors:
+            return errors
+        totals = attribution["totals"]
+        for field in _ATTR_FIELDS:
+            want = totals.get(field)
+            rows_sum = sum(r[field] for r in attribution["rows"])
+            if rows_sum != want:
+                errors.append(
+                    f"attribution rows sum {field}={rows_sum} != totals {want}"
+                )
+            for view in ("by_loop", "by_statement", "by_array"):
+                got = _sum_view(attribution[view], field)
+                if got != want:
+                    errors.append(
+                        f"attribution {view} sums {field}={got} != totals {want}"
+                    )
+        # the acceptance invariant: attribution == machine CacheStats
+        mcache = doc["machine"].get("cache")
+        if mcache is not None:
+            if totals.get("accesses") != mcache.get("accesses"):
+                errors.append(
+                    f"attribution accesses {totals.get('accesses')} != "
+                    f"machine cache accesses {mcache.get('accesses')}"
+                )
+            if totals.get("misses") != mcache.get("misses"):
+                errors.append(
+                    f"attribution misses {totals.get('misses')} != "
+                    f"machine cache misses {mcache.get('misses')}"
+                )
+            if totals.get("writebacks") != mcache.get("writebacks"):
+                errors.append(
+                    f"attribution writebacks {totals.get('writebacks')} != "
+                    f"machine cache writebacks {mcache.get('writebacks')}"
+                )
+    return errors
+
+
+def write_json(path: str, doc: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")

@@ -6,7 +6,9 @@ through the pass manager twice against one shared analysis cache — a
 query, then a **warm** pass that replays from the cache — and writes
 ``BENCH_pipeline.json`` with per-pass wall times and per-region hit
 rates.  Future PRs diff this file to see whether the analysis hot path
-moved.
+moved.  ``--obs OUT.json`` additionally captures a ``repro.obs/1``
+metrics profile (pass spans, dependence/FM query counts and latencies)
+of the same run, so the BENCH artifact carries its own explanation.
 
 Schema::
 
@@ -26,10 +28,13 @@ Schema::
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from typing import Optional
 
+from repro.obs import core as obs_core
+from repro.obs import export as obs_export
 from repro.pipeline import derive
 from repro.pipeline.cache import AnalysisCache
 
@@ -82,9 +87,32 @@ def run_bench() -> dict:
 
 
 def main(argv: Optional[list] = None) -> int:
-    argv = argv if argv is not None else sys.argv[1:]
-    path = argv[0] if argv else "BENCH_pipeline.json"
-    bench = run_bench()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pipeline.bench",
+        description="benchmark the pass pipeline (cold vs warm analysis cache)",
+    )
+    parser.add_argument("path", nargs="?", default="BENCH_pipeline.json")
+    parser.add_argument(
+        "--obs",
+        metavar="PATH",
+        help="write a repro.obs/1 metrics profile of the bench run here",
+    )
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    path = args.path
+
+    if args.obs:
+        with obs_core.enabled() as o:
+            bench = run_bench()
+        obs_export.write_json(
+            args.obs,
+            obs_export.metrics(
+                o,
+                meta={"tool": "repro.pipeline.bench"},
+                analysis_cache=bench["cache"],
+            ),
+        )
+    else:
+        bench = run_bench()
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(bench, fh, indent=2)
         fh.write("\n")
@@ -100,6 +128,8 @@ def main(argv: Optional[list] = None) -> int:
             f"({stats['hit_rate']:.0%})"
         )
     print(f"wrote {path}")
+    if args.obs:
+        print(f"obs metrics written to {args.obs}")
     return 0
 
 

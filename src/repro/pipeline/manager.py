@@ -47,6 +47,7 @@ from repro.errors import PipelineError, TransformError, VerificationError
 from repro.ir.fingerprint import ir_size
 from repro.ir.pretty import to_fortran
 from repro.ir.stmt import Procedure
+from repro.obs import core as _obs
 from repro.pipeline.cache import GLOBAL_CACHE, AnalysisCache, installed
 from repro.pipeline.passes import get_pass
 from repro.pipeline.trace import build_trace
@@ -81,6 +82,7 @@ class SpanRecord:
     name: str
     status: str = "pending"  # applied | noop | infeasible | error
     wall_s: float = 0.0
+    t_start: float = 0.0  # perf_counter at span open (obs export; not in trace)
     cached: bool = False
     input_fingerprint: str = ""
     output_fingerprint: str = ""
@@ -160,16 +162,21 @@ class PassManager:
         spans: list[SpanRecord] = []
         current = proc
         stopped = False
+        cache_before = {
+            name: getattr(self.cache, name).stats() for name in self.cache.REGIONS
+        }
 
         def finish() -> PipelineResult:
+            elapsed = time.perf_counter() - t_start
             trace = build_trace(
                 spans,
                 algorithm=self.algorithm,
                 procedure=proc.name,
                 cache_stats=self.cache.stats(),
                 verify_enabled=self.verifier is not None,
-                elapsed_s=time.perf_counter() - t_start,
+                elapsed_s=elapsed,
             )
+            self._report_obs(proc, spans, t_start, elapsed, cache_before)
             return PipelineResult(current, spans, ctx, trace, stopped=stopped)
 
         with installed(self.cache):
@@ -180,6 +187,7 @@ class PassManager:
                 span.ir_size_before = ir_size(current)
                 spans.append(span)
                 t0 = time.perf_counter()
+                span.t_start = t0
 
                 reason = pdef.precheck(current, ctx, spec.options)
                 if reason is not None:
@@ -272,6 +280,40 @@ class PassManager:
                         raise
 
         return finish()
+
+    def _report_obs(
+        self,
+        proc: Procedure,
+        spans: list[SpanRecord],
+        t_start: float,
+        elapsed: float,
+        cache_before: dict,
+    ) -> None:
+        """Mirror this run into the active :mod:`repro.obs` observer: one
+        span per pass (and one for the whole run), plus analysis-cache
+        hit/miss deltas as counters.  No-op when observation is disabled;
+        the pipeline's own JSON trace is unaffected either way."""
+        o = _obs.current()
+        if o is None:
+            return
+        label = self.algorithm or proc.name
+        o.event(
+            f"pipeline:{label}", cat="pipeline", start=t_start, dur=elapsed,
+            procedure=proc.name, passes=len(spans),
+        )
+        for s in spans:
+            o.event(
+                f"pass:{s.name}", cat="pipeline.pass", start=s.t_start,
+                dur=s.wall_s, status=s.status, cached=s.cached, algorithm=label,
+            )
+            o.count(f"pipeline.pass.{s.status}")
+        for name in self.cache.REGIONS:
+            after = getattr(self.cache, name).stats()
+            before = cache_before.get(name, {})
+            for key in ("hits", "misses"):
+                delta = after[key] - before.get(key, 0)
+                if delta:
+                    o.count(f"analysis_cache.{name}.{key}", delta)
 
 
 def run_passes(

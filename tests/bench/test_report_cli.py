@@ -75,3 +75,51 @@ class TestMainExitCodes:
         # the surviving table still landed on disk
         assert "## Alive" in path.read_text()
         assert "## dead" not in path.read_text()
+
+
+class TestOnlyFilter:
+    BUILDERS = [
+        ("T1 convolution", lambda: fake_table("T1")),
+        ("T5 Givens", lambda: fake_table("T5")),
+    ]
+
+    def test_select_builders_substring_case_insensitive(self, patched_builders):
+        patched_builders(self.BUILDERS)
+        assert [n for n, _ in report.select_builders(4, "t1")] == ["T1 convolution"]
+        assert [n for n, _ in report.select_builders(4, "Givens")] == ["T5 Givens"]
+        assert len(report.select_builders(4, None)) == 2
+
+    def test_only_builds_the_subset(self, patched_builders, tmp_path, capsys):
+        patched_builders(self.BUILDERS)
+        path = tmp_path / "partial.md"
+        assert report.main(["--only", "T1", str(path)]) == 0
+        text = path.read_text()
+        assert "## T1" in text and "## T5" not in text
+
+    def test_only_refuses_default_output_path(self, patched_builders, capsys):
+        patched_builders(self.BUILDERS)
+        assert report.main(["--only", "T1"]) == 2
+        assert "refusing to overwrite EXPERIMENTS.md" in capsys.readouterr().err
+
+    def test_only_with_no_match_is_an_error(self, patched_builders, tmp_path, capsys):
+        patched_builders(self.BUILDERS)
+        assert report.main(["--only", "T9", str(tmp_path / "x.md")]) == 2
+        err = capsys.readouterr().err
+        assert "matches no table" in err
+        assert "T1 convolution" in err  # the known names are listed
+
+
+class TestObsFlag:
+    def test_obs_writes_valid_metrics(self, patched_builders, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_metrics
+
+        patched_builders([("only", lambda: fake_table("Only"))])
+        out_md = tmp_path / "exp.md"
+        obs_path = tmp_path / "obs.json"
+        assert report.main(["--obs", str(obs_path), str(out_md)]) == 0
+        assert "obs metrics written to" in capsys.readouterr().out
+        doc = json.loads(obs_path.read_text())
+        assert validate_metrics(doc) == []
+        assert doc["meta"]["tool"] == "repro.bench.report"

@@ -104,3 +104,51 @@ class TestStats:
         c = a + b
         assert (c.accesses, c.misses, c.writebacks) == (15, 3, 1)
         assert c.hits == 12
+
+    def test_dict_round_trip(self):
+        a = CacheStats(accesses=10, misses=2, reads=6, writes=4, writebacks=1)
+        d = a.to_dict()
+        # derived fields ride along for JSON readers...
+        assert d["hits"] == 8
+        assert d["miss_ratio"] == 0.2
+        # ...and are ignored coming back: the stored counters round-trip
+        assert CacheStats.from_dict(d) == a
+
+    def test_from_dict_defaults_missing_fields(self):
+        assert CacheStats.from_dict({}) == CacheStats()
+        assert CacheStats.from_dict({"accesses": 3}).accesses == 3
+
+    def test_to_dict_is_json_serializable(self):
+        import json
+
+        json.loads(json.dumps(CacheStats(1, 1, 1, 0, 0).to_dict()))
+
+
+class TestTracerTlbWriteFlag:
+    """The tracer must drive stores through the TLB as *writes* (a dirty
+    translation's eviction is a page-table write-back)."""
+
+    def _tracer(self):
+        from repro.ir.expr import Var
+        from repro.ir.stmt import ArrayDecl, Procedure
+        from repro.machine.layout import Layout
+        from repro.machine.tracer import CacheTracer
+
+        proc = Procedure("p", ("N",), (ArrayDecl("A", (Var("N"),)),), ())
+        layout = Layout.for_procedure(proc, {"N": 64}, line_bytes=32)
+        cache = Cache(CacheConfig(256, 32, 2))
+        tlb = Cache(CacheConfig(128, 128, 1))  # one 128-byte "page"
+        return CacheTracer(layout, cache, tlb)
+
+    def test_store_counts_as_tlb_write(self):
+        t = self._tracer()
+        t.access("A", (1,), True)
+        t.access("A", (2,), False)
+        assert t.tlb.stats.writes == 1
+        assert t.tlb.stats.reads == 1
+
+    def test_dirty_tlb_entry_writes_back_on_eviction(self):
+        t = self._tracer()
+        t.access("A", (1,), True)   # page 0 dirtied
+        t.access("A", (17,), False)  # page 1 evicts page 0 (direct mapped)
+        assert t.tlb_stats.writebacks == 1

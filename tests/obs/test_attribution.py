@@ -1,0 +1,155 @@
+"""Miss attribution: provenance tracking and the sum-consistency invariant."""
+
+from __future__ import annotations
+
+from repro.ir.build import assign, do, ref
+from repro.ir.expr import Var
+from repro.ir.stmt import ArrayDecl, Procedure
+from repro.machine.cache import Cache, CacheConfig
+from repro.machine.layout import Layout
+from repro.machine.tracer import CacheTracer, trace_procedure
+from repro.obs.attribution import TOPLEVEL, MissAttribution, Provenance, stmt_label
+
+FIELDS = ("accesses", "misses", "writebacks", "tlb_misses", "writes")
+
+
+class TestProvenance:
+    def test_loop_path_push_pop(self):
+        p = Provenance("lu")
+        p.push_loop("K")
+        p.push_loop("I")
+        assert p.path == ("K", "I")
+        p.pop_loop()
+        assert p.path == ("K",)
+
+    def test_stmt_labels(self, vecadd_proc):
+        loop_j = vecadd_proc.body[0]
+        loop_i = loop_j.body[0]
+        store = loop_i.body[0]
+        assert stmt_label(loop_j) == "DO J"
+        assert stmt_label(store) == "A(I)"
+
+    def test_labels_memoized_by_identity(self, vecadd_proc):
+        p = Provenance()
+        store = vecadd_proc.body[0].body[0].body[0]
+        p.set_stmt(store)
+        first = p.stmt
+        p.set_stmt(store)
+        assert p.stmt is first  # same cached string object
+
+
+class TestMissAttribution:
+    def test_views_sum_to_totals(self):
+        a = MissAttribution()
+        a.record(("K", "I"), "A(I)", "A", True, True, 1, False)
+        a.record(("K", "I"), "A(I)", "A", False, False, 0, True)
+        a.record(("K",), "B(K)", "B", False, True, 0, False)
+        a.record((), "C(1)", "C", True, False, 0, False)
+        totals = a.totals()
+        assert totals == {
+            "accesses": 4, "misses": 2, "writebacks": 1,
+            "tlb_misses": 1, "writes": 2,
+        }
+        for view in (a.by_loop(), a.by_statement(), a.by_array()):
+            for f in FIELDS:
+                assert sum(r[f] for r in view.values()) == totals[f]
+
+    def test_toplevel_key_for_accesses_outside_loops(self):
+        a = MissAttribution()
+        a.record((), "X(1)", "X", False, False, 0, False)
+        assert TOPLEVEL in a.by_loop()
+        assert f"{TOPLEVEL}: X(1)" in a.by_statement()
+
+    def test_to_dict_rows_sorted_by_misses(self):
+        a = MissAttribution()
+        a.record(("I",), "A(I)", "A", False, True, 0, False)
+        a.record(("I",), "B(I)", "B", False, True, 0, False)
+        a.record(("I",), "B(I)", "B", False, True, 0, False)
+        d = a.to_dict()
+        assert [r["array"] for r in d["rows"]] == ["B", "A"]
+        assert set(d) == {"rows", "by_loop", "by_statement", "by_array", "totals"}
+
+
+class TestTracedAttribution:
+    def test_attribute_run_matches_cache_stats(self, vecadd_proc, tiny_machine):
+        sizes = {"N": 12, "M": 40}
+        tracer = trace_procedure(vecadd_proc, sizes, tiny_machine, attribute=True)
+        a = tracer.attribution
+        assert a is not None
+        totals = a.totals()
+        stats = tracer.stats
+        assert totals["accesses"] == stats.accesses
+        assert totals["misses"] == stats.misses
+        assert totals["writebacks"] == stats.writebacks
+        assert totals["writes"] == stats.writes
+        # per-array view agrees with the tracer's own per-array tallies
+        by_array = a.by_array()
+        assert {k: v["accesses"] for k, v in by_array.items()} == tracer.per_array
+        assert {
+            k: v["misses"] for k, v in by_array.items() if v["misses"]
+        } == tracer.per_array_misses
+
+    def test_sites_carry_loop_paths(self, vecadd_proc, tiny_machine):
+        tracer = trace_procedure(
+            vecadd_proc, {"N": 4, "M": 8}, tiny_machine, attribute=True
+        )
+        by_loop = tracer.attribution.by_loop()
+        # every access of the vecadd kernel happens inside DO J / DO I
+        assert list(by_loop) == ["J/I"]
+        by_stmt = tracer.attribution.by_statement()
+        assert "J/I: A(I)" in by_stmt
+        # A is read+written, B read once per (J,I): 3 refs per iteration
+        assert by_loop["J/I"]["accesses"] == 3 * 4 * 8
+
+    def test_attribute_and_codegen_agree_on_stats(self, vecadd_proc, tiny_machine):
+        sizes = {"N": 6, "M": 32}
+        interp = trace_procedure(vecadd_proc, sizes, tiny_machine, attribute=True)
+        comp = trace_procedure(vecadd_proc, sizes, tiny_machine)
+        assert interp.stats == comp.stats
+
+    def test_if_condition_charged_to_if_label(self, tiny_machine):
+        # IF (MASK(I) .NE. 0) A(I) = 2.0 — the MASK read belongs to the IF site
+        from repro.ir.build import if_
+        from repro.ir.expr import Compare, Const
+
+        proc = Procedure(
+            "guarded",
+            ("N",),
+            (ArrayDecl("A", (Var("N"),)), ArrayDecl("MASK", (Var("N"),))),
+            (
+                do(
+                    "I", 1, "N",
+                    if_(
+                        Compare("ne", ref("MASK", "I"), Const(0.0)),
+                        assign(ref("A", "I"), 2.0),
+                    ),
+                ),
+            ),
+        )
+        tracer = trace_procedure(proc, {"N": 16}, tiny_machine, attribute=True)
+        by_stmt = tracer.attribution.by_statement()
+        if_sites = [k for k in by_stmt if k.startswith("I: IF")]
+        assert if_sites, f"no IF site in {list(by_stmt)}"
+        assert sum(by_stmt[k]["accesses"] for k in if_sites) == 16  # MASK reads
+
+
+class TestTracerDirect:
+    def test_writeback_charged_to_triggering_access(self):
+        # 1-set, 1-way cache: write line 0 (dirty), then read line 1 -> the
+        # read evicts dirty line 0 and must be charged its write-back.
+        proc = Procedure(
+            "p", ("N",), (ArrayDecl("A", (Var("N"),)),), ()
+        )
+        layout = Layout.for_procedure(proc, {"N": 16}, line_bytes=32)
+        cache = Cache(CacheConfig(32, 32, 1))
+        prov = Provenance("p")
+        attr = MissAttribution()
+        tracer = CacheTracer(layout, cache, provenance=prov, attribution=attr)
+        prov.stmt = "store"
+        tracer.access("A", (1,), True)  # line 0, dirtied
+        prov.stmt = "load"
+        tracer.access("A", (5,), False)  # line 1, evicts dirty line 0
+        rows = {stmt: r for (_, stmt, _), r in attr.sites.items()}
+        assert rows["store"][2] == 0  # writebacks slot
+        assert rows["load"][2] == 1
+        assert cache.stats.writebacks == 1

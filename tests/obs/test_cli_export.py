@@ -1,0 +1,147 @@
+"""The repro.obs CLI and exporters, run in-process on real workloads."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import core, export
+from repro.obs.cli import main
+
+
+class TestChromeTrace:
+    def test_event_shape(self):
+        o = core.Obs()
+        with o.span("outer", cat="pipeline"):
+            with o.span("inner"):
+                pass
+        doc = export.chrome_trace(o)
+        events = doc["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert {m["name"] for m in metas} == {"process_name", "thread_name"}
+        assert [e["name"] for e in xs] == ["outer", "inner"]  # sorted by ts
+        for e in xs:
+            assert e["dur"] > 0 and e["ts"] >= 0
+            assert e["pid"] == 1 and e["tid"] == 1
+        assert doc["otherData"]["schema"] == export.SCHEMA
+
+    def test_uncategorized_span_defaults_cat(self):
+        o = core.Obs()
+        with o.span("x"):
+            pass
+        (event,) = [e for e in export.chrome_trace(o)["traceEvents"] if e["ph"] == "X"]
+        assert event["cat"] == "repro"
+
+
+class TestValidateMetrics:
+    def test_minimal_valid_doc(self):
+        doc = export.metrics(core.Obs())
+        assert export.validate_metrics(doc) == []
+
+    def test_wrong_schema_rejected(self):
+        doc = export.metrics(core.Obs())
+        doc["schema"] = "repro.obs/99"
+        assert any("schema" in e for e in export.validate_metrics(doc))
+
+    def test_non_integer_counter_rejected(self):
+        doc = export.metrics(core.Obs())
+        doc["counters"]["bad"] = 1.5
+        assert any("bad" in e for e in export.validate_metrics(doc))
+
+    def test_attribution_sum_mismatch_rejected(self):
+        o = core.Obs()
+        doc = export.metrics(o)
+        doc["attribution"] = {
+            "rows": [{"loop": "I", "statement": "A(I)", "array": "A",
+                      "accesses": 2, "misses": 1, "writebacks": 0,
+                      "tlb_misses": 0, "writes": 0}],
+            "by_loop": {"I": {"accesses": 2, "misses": 1, "writebacks": 0,
+                              "tlb_misses": 0, "writes": 0}},
+            "by_statement": {"I: A(I)": {"accesses": 2, "misses": 1,
+                                         "writebacks": 0, "tlb_misses": 0,
+                                         "writes": 0}},
+            "by_array": {"A": {"accesses": 2, "misses": 1, "writebacks": 0,
+                               "tlb_misses": 0, "writes": 0}},
+            "totals": {"accesses": 2, "misses": 0, "writebacks": 0,
+                       "tlb_misses": 0, "writes": 0},  # misses disagree
+        }
+        errors = export.validate_metrics(doc)
+        assert any("misses" in e for e in errors)
+
+    def test_machine_cache_mismatch_rejected(self):
+        from repro.machine.cache import CacheStats
+
+        doc = export.metrics(
+            core.Obs(), machine_cache=CacheStats(accesses=10, misses=3)
+        )
+        doc["attribution"] = {
+            "rows": [], "by_loop": {}, "by_statement": {}, "by_array": {},
+            "totals": {"accesses": 9, "misses": 3, "writebacks": 0,
+                       "tlb_misses": 0, "writes": 0},
+        }
+        errors = export.validate_metrics(doc)
+        assert any("machine cache accesses" in e for e in errors)
+
+
+@pytest.mark.slow
+class TestCliEndToEnd:
+    def test_conv_writes_valid_artifacts(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        rc = main([
+            "conv",
+            "--chrome-trace", str(trace_path),
+            "--metrics", str(metrics_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro.obs profile — conv" in out
+        assert "loops (by misses):" in out
+
+        trace = json.loads(trace_path.read_text())
+        names = [e["name"] for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert "pipeline:conv" in names
+        assert any(n.startswith("pass:") for n in names)
+        assert any(n.startswith("interpret:") for n in names)
+
+        doc = json.loads(metrics_path.read_text())
+        assert export.validate_metrics(doc) == []
+        assert doc["meta"]["workload"] == "conv"
+        # the acceptance invariant, re-checked from the written artifact
+        totals = doc["attribution"]["totals"]
+        assert totals["accesses"] == doc["machine"]["cache"]["accesses"]
+        assert totals["misses"] == doc["machine"]["cache"]["misses"]
+        # conv's split/jam/scalars pipeline leans on Fourier–Motzkin queries
+        assert doc["counters"]["fm.direction.queries"] > 0
+        assert doc["counters"]["pipeline.pass.applied"] == 3
+
+    def test_custom_passes_and_sizes(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        rc = main([
+            "conv", "--passes", "split", "--sizes", "N1=16,N2=12,N3=14",
+            "--metrics", str(metrics_path),
+        ])
+        assert rc == 0
+        doc = json.loads(metrics_path.read_text())
+        assert doc["meta"]["passes"] == "['split']"
+
+
+class TestCliErrors:
+    def test_list_exits_zero(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "lu_nopivot" in out and "conv" in out
+
+    def test_missing_workload_is_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "workload name" in capsys.readouterr().err
+
+    def test_unknown_workload_is_usage_error(self, capsys):
+        assert main(["no_such_workload"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_sizes_is_usage_error(self, capsys):
+        assert main(["conv", "--sizes", "N1"]) == 2
+        assert "--sizes" in capsys.readouterr().err

@@ -1,0 +1,121 @@
+"""repro.obs.core: counters, histograms, span nesting, enable/disable."""
+
+from __future__ import annotations
+
+from repro.obs import core
+
+
+def ticking_clock(step: float = 1.0):
+    """A deterministic clock: returns 0, step, 2*step, ... on each call."""
+    state = {"t": -step}
+
+    def clock() -> float:
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        o = core.Obs()
+        o.count("dep.queries")
+        o.count("dep.queries", 4)
+        assert o.counters == {"dep.queries": 5}
+
+    def test_histogram_summary(self):
+        o = core.Obs()
+        for v in (1.0, 3.0, 2.0):
+            o.observe("lat_s", v)
+        s = o.histograms["lat_s"].summary()
+        assert s["count"] == 3
+        assert s["total"] == 6.0
+        assert s["min"] == 1.0 and s["max"] == 3.0
+        assert s["mean"] == 2.0
+
+    def test_empty_histogram_summary_has_no_infinities(self):
+        h = core.Histogram()
+        s = h.summary()
+        assert s == {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+
+
+class TestSpans:
+    def test_nesting_depth_and_duration(self):
+        o = core.Obs(clock=ticking_clock())
+        with o.span("outer", cat="a"):
+            with o.span("inner", cat="b"):
+                pass
+        # spans close innermost-first
+        inner, outer = o.spans
+        assert (inner.name, inner.depth) == ("inner", 1)
+        assert (outer.name, outer.depth) == ("outer", 0)
+        assert inner.dur == 1.0  # one clock tick inside
+        assert outer.ts < inner.ts
+
+    def test_span_args_mutable_until_close(self):
+        o = core.Obs()
+        with o.span("run", engine="interpreter") as args:
+            args["misses"] = 7
+        assert o.spans[0].args == {"engine": "interpreter", "misses": 7}
+
+    def test_span_recorded_when_body_raises(self):
+        o = core.Obs()
+        try:
+            with o.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert [s.name for s in o.spans] == ["boom"]
+        assert o._depth == 0  # stack unwound
+
+    def test_event_reports_externally_timed_interval(self):
+        o = core.Obs(clock=ticking_clock())
+        o.event("pass:block", cat="pipeline", start=o.epoch + 2.0, dur=0.5, status="applied")
+        (s,) = o.spans
+        assert s.ts == 2.0 and s.dur == 0.5
+        assert s.args["status"] == "applied"
+
+    def test_span_summary_aggregates_by_name(self):
+        o = core.Obs(clock=ticking_clock())
+        with o.span("a"):
+            pass
+        with o.span("a"):
+            pass
+        with o.span("b"):
+            pass
+        summary = o.span_summary()
+        assert summary["a"]["count"] == 2
+        assert summary["a"]["total_s"] == 2.0
+        assert summary["b"]["count"] == 1
+
+
+class TestActiveObserver:
+    def test_disabled_helpers_are_noops(self):
+        assert core.current() is None
+        core.count("x")  # must not raise
+        core.observe("y", 1.0)
+        with core.span("z") as args:
+            args["k"] = 1  # yielded dict is just discarded
+
+    def test_enabled_routes_helpers_and_restores(self):
+        with core.enabled() as o:
+            assert core.current() is o
+            core.count("hits", 2)
+            core.observe("lat_s", 0.25)
+            with core.span("work", cat="t"):
+                pass
+        assert core.current() is None
+        assert o.counters == {"hits": 2}
+        assert o.histograms["lat_s"].count == 1
+        assert [s.name for s in o.spans] == ["work"]
+
+    def test_enabled_accepts_existing_observer_and_nests(self):
+        mine = core.Obs()
+        with core.enabled(mine) as o:
+            assert o is mine
+            inner = core.Obs()
+            with core.enabled(inner):
+                core.count("c")
+            assert core.current() is mine
+        assert inner.counters == {"c": 1}
+        assert "c" not in mine.counters
