@@ -1,0 +1,130 @@
+"""Command-line front end: ``python -m repro.check``.
+
+Runs the full check stack over registered workloads::
+
+    python -m repro.check lu_nopivot             # one workload
+    python -m repro.check --all --json out.json  # every workload + report
+    python -m repro.check --rules                # print the rule catalogue
+
+Per workload it (1) verifies the freshly built IR against the
+structural invariants, (2) lints every outermost loop for
+blockability, and (3) re-derives the workload's default pass pipeline
+under ``check=True`` so every pass is bracketed by legality
+pre/postchecks and IR re-verification.  ``--json PATH`` writes a
+``repro.check/1`` report (diagnostics + rule catalogue + lint
+verdicts) that :func:`repro.check.report.validate_report` accepts.
+
+Exit status: 0 when no error-severity diagnostic was produced, 1 when
+at least one was, 2 for usage errors (unknown workload).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.check.diagnostics import RULES, Severity, errors_in
+from repro.check.linter import lint_blockability
+from repro.check.report import build_report, validate_report, write_report
+from repro.check.verifier import verify_ir
+from repro.errors import CheckError, ReproError
+from repro.pipeline import derive
+from repro.pipeline.cache import AnalysisCache
+from repro.pipeline.workloads import available_workloads, get_workload
+
+
+def _check_workload(name: str, diagnostics: list, verdicts: list) -> None:
+    workload = get_workload(name)
+    ctx = workload.context(None)
+    proc = workload.build()
+
+    diagnostics.extend(verify_ir(proc, ctx))
+    for res in lint_blockability(proc, ctx):
+        diagnostics.append(res.diagnostic())
+        verdicts.append(res)
+
+    try:
+        result = derive(name, cache=AnalysisCache(), check=True)
+        diagnostics.extend(result.check_diagnostics)
+    except CheckError as e:
+        diagnostics.extend(e.diagnostics)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="verify IR, check transformation legality, and lint "
+        "blockability for the paper's workloads",
+    )
+    p.add_argument("workloads", nargs="*", metavar="WORKLOAD",
+                   help="workload names (see python -m repro.pipeline "
+                   "--list-algorithms)")
+    p.add_argument("--all", action="store_true",
+                   help="check every registered workload")
+    p.add_argument("--json", metavar="PATH",
+                   help="write a repro.check/1 JSON report here")
+    p.add_argument("--rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    return p
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.rules:
+        for rule in RULES.values():
+            print(f"{rule.severity.value:<8} {rule.id:<34} {rule.summary}")
+        return 0
+
+    if args.all:
+        names = [w.name for w in available_workloads()]
+    else:
+        names = args.workloads
+    if not names:
+        print("error: name at least one WORKLOAD (or use --all / --rules)",
+              file=sys.stderr)
+        return 2
+
+    diagnostics: list = []
+    verdicts: list = []
+    status = 0
+    for name in names:
+        before = len(diagnostics)
+        before_v = len(verdicts)
+        try:
+            _check_workload(name, diagnostics, verdicts)
+        except ReproError as e:
+            print(f"error: {name}: {e}", file=sys.stderr)
+            return 2
+        new = diagnostics[before:]
+        errs = errors_in(new)
+        verdict_part = "; ".join(
+            f"DO {v.loop_var}: {v.verdict}" for v in verdicts[before_v:]
+        )
+        print(f"{name:<12} {len(new)} diagnostic(s), {len(errs)} error(s)"
+              + (f"  [{verdict_part}]" if verdict_part else ""))
+        for d in new:
+            if d.severity != Severity.INFO:
+                print(f"  {d.pretty()}")
+        if errs:
+            status = 1
+
+    if args.json:
+        report = build_report(
+            diagnostics,
+            verdicts=verdicts,
+            meta={"tool": "repro.check", "workloads": ",".join(names)},
+        )
+        problems = validate_report(report)
+        if problems:  # self-check: never ship a malformed artifact
+            for p in problems:
+                print(f"error: invalid report: {p}", file=sys.stderr)
+            return 2
+        write_report(args.json, report)
+        print(f"report written to {args.json}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Check-local commutativity oracle (paper Sec. 5.2).
+
+:mod:`repro.check` re-derives everything independently of the
+transformation stack, including the semantic knowledge that lets LU with
+partial pivoting block: a whole-row interchange commutes with a
+whole-column update.  This is the same pattern-matching substrate as
+:mod:`repro.analysis.commutativity`, assembled here without importing
+:mod:`repro.blockability.driver` (which pulls in the pipeline — the
+checker must stay importable *from* the pipeline without a cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.commutativity import (
+    match_column_update,
+    match_row_interchange,
+    operations_commute,
+)
+from repro.analysis.graph import _top_stmt_of
+from repro.ir.stmt import Loop, Procedure
+
+
+def _match_group(stmt) -> Optional[object]:
+    if not isinstance(stmt, Loop):
+        return None
+    return match_row_interchange(stmt) or match_column_update(stmt)
+
+
+def dependence_commutes(proc: Procedure, loop: Loop, dep) -> bool:
+    """True when ``dep`` connects two recognized operation groups that
+    commute — the dependence may be ignored for distribution decisions."""
+    a = _top_stmt_of(dep.source, loop)
+    b = _top_stmt_of(dep.sink, loop)
+    if a is None or b is None or a is b:
+        return False
+    ga = _match_group(a)
+    gb = _match_group(b)
+    return ga is not None and gb is not None and operations_commute(ga, gb)

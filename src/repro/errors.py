@@ -54,3 +54,18 @@ class VerificationError(ReproError):
 
     Raised by :mod:`repro.pipeline.verify` with the name of the first pass
     whose output disagrees with the reference execution."""
+
+
+class CheckError(ReproError):
+    """The static checker (:mod:`repro.check`) found an error-severity
+    diagnostic: malformed IR or an illegal transformation.
+
+    ``diagnostics`` holds the offending
+    :class:`~repro.check.diagnostics.Diagnostic` list; when raised from a
+    ``--check`` pipeline run, ``result`` carries the partial
+    :class:`~repro.pipeline.manager.PipelineResult` up to the failure."""
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+        self.result = None

@@ -70,6 +70,7 @@ def derive(
     verify: bool = False,
     cache: Optional[AnalysisCache] = None,
     on_infeasible: str = "skip",
+    check: bool = False,
 ) -> PipelineResult:
     """Run a named workload through its (or the given) pass list.
 
@@ -92,5 +93,6 @@ def derive(
         cache=cache,
         verifier=verifier,
         algorithm=workload.name,
+        check=check,
     )
     return manager.run(proc)

@@ -33,6 +33,7 @@ import json
 import sys
 from typing import Optional
 
+from repro.errors import CheckError
 from repro.obs import core as obs_core
 from repro.obs import export as obs_export
 from repro.pipeline import derive
@@ -47,8 +48,8 @@ BENCH_WORKLOADS = (
 )
 
 
-def _run(name: str, passes, cache: AnalysisCache) -> dict:
-    result = derive(name, passes=passes, cache=cache)
+def _run(name: str, passes, cache: AnalysisCache, check: bool = False) -> dict:
+    result = derive(name, passes=passes, cache=cache, check=check)
     return {
         "elapsed_s": round(result.trace["elapsed_s"], 4),
         "spans": [
@@ -63,12 +64,12 @@ def _run(name: str, passes, cache: AnalysisCache) -> dict:
     }
 
 
-def run_bench() -> dict:
+def run_bench(check: bool = False) -> dict:
     cache = AnalysisCache()
     workloads = {}
     for name, passes in BENCH_WORKLOADS:
-        cold = _run(name, passes, cache)
-        warm = _run(name, passes, cache)
+        cold = _run(name, passes, cache, check=check)
+        warm = _run(name, passes, cache, check=check)
         workloads[name] = {
             "passes": [s["pass"] for s in cold["spans"]],
             "cold": cold,
@@ -97,22 +98,34 @@ def main(argv: Optional[list] = None) -> int:
         metavar="PATH",
         help="write a repro.obs/1 metrics profile of the bench run here",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the repro.check verifier/legality predicates during the "
+        "bench derivations; exit 1 on any error-severity diagnostic",
+    )
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
     path = args.path
 
-    if args.obs:
-        with obs_core.enabled() as o:
-            bench = run_bench()
-        obs_export.write_json(
-            args.obs,
-            obs_export.metrics(
-                o,
-                meta={"tool": "repro.pipeline.bench"},
-                analysis_cache=bench["cache"],
-            ),
-        )
-    else:
-        bench = run_bench()
+    try:
+        if args.obs:
+            with obs_core.enabled() as o:
+                bench = run_bench(check=args.check)
+            obs_export.write_json(
+                args.obs,
+                obs_export.metrics(
+                    o,
+                    meta={"tool": "repro.pipeline.bench"},
+                    analysis_cache=bench["cache"],
+                ),
+            )
+        else:
+            bench = run_bench(check=args.check)
+    except CheckError as e:
+        print(f"CHECK FAILED: {e}", file=sys.stderr)
+        for d in e.diagnostics:
+            print(f"  {d.pretty()}", file=sys.stderr)
+        return 1
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(bench, fh, indent=2)
         fh.write("\n")

@@ -21,7 +21,7 @@ import argparse
 import sys
 from typing import Optional
 
-from repro.errors import PipelineError, VerificationError
+from repro.errors import CheckError, PipelineError, VerificationError
 from repro.ir.pretty import to_fortran
 from repro.pipeline.cache import AnalysisCache
 from repro.pipeline.manager import PassManager, PipelineResult
@@ -48,13 +48,16 @@ def _parse_sizes(text: str) -> dict:
 
 
 def _span_line(span) -> str:
-    mark = {"applied": "+", "noop": ".", "infeasible": "-", "error": "!"}[span.status]
+    mark = {
+        "applied": "+", "noop": ".", "infeasible": "-", "error": "!",
+        "check-failed": "!",
+    }[span.status]
     cached = " (cached)" if span.cached else ""
     delta = span.ir_size_after - span.ir_size_before
     extra = ""
     if span.status == "infeasible":
         extra = f"  [{span.detail.get('reason', '')}]"
-    elif span.status == "error":
+    elif span.status in ("error", "check-failed"):
         extra = f"  [{span.error}]"
     verified = "  verified" if span.verify and span.verify.get("ok") else ""
     return (
@@ -80,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="differentially verify after every applied pass",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="run the repro.check IR verifier and legality predicates "
+        "before/after every pass; exit 1 on any error-severity diagnostic",
     )
     p.add_argument(
         "--on-infeasible",
@@ -156,6 +165,7 @@ def main(argv: Optional[list] = None) -> int:
             verifier=verifier,
             trace_snapshots=args.snapshots,
             algorithm=workload.name,
+            check=args.check,
         )
     except PipelineError as e:
         print(f"error: {e}", file=sys.stderr)
@@ -167,6 +177,12 @@ def main(argv: Optional[list] = None) -> int:
         result = manager.run(proc)
     except VerificationError as e:
         print(f"VERIFICATION FAILED: {e}", file=sys.stderr)
+        result = getattr(e, "result", None)
+        status = 1
+    except CheckError as e:
+        print(f"CHECK FAILED: {e}", file=sys.stderr)
+        for d in e.diagnostics:
+            print(f"  {d.pretty()}", file=sys.stderr)
         result = getattr(e, "result", None)
         status = 1
     except PipelineError as e:
@@ -189,6 +205,13 @@ def main(argv: Optional[list] = None) -> int:
                     f"  cache[{region}]: {stats['hits']} hits / "
                     f"{stats['misses']} misses ({stats['hit_rate']:.0%})"
                 )
+        if args.check and result.check_diagnostics:
+            shown = [
+                d for d in result.check_diagnostics
+                if d.severity.value != "info"
+            ]
+            for d in shown:
+                print(f"  check: {d.pretty()}")
         if args.print_ir and status == 0:
             print(to_fortran(result.procedure))
     return status

@@ -43,7 +43,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
-from repro.errors import PipelineError, TransformError, VerificationError
+from repro.errors import CheckError, PipelineError, TransformError, VerificationError
 from repro.ir.fingerprint import ir_size
 from repro.ir.pretty import to_fortran
 from repro.ir.stmt import Procedure
@@ -104,6 +104,8 @@ class PipelineResult:
     ctx: Assumptions
     trace: dict
     stopped: bool = False
+    #: diagnostics collected in ``check=True`` mode (repro.check Diagnostic)
+    check_diagnostics: list = field(default_factory=list)
 
     def span(self, name: str) -> Optional[SpanRecord]:
         """First span for the pass called ``name``."""
@@ -142,6 +144,7 @@ class PassManager:
         verifier: Optional[DifferentialVerifier] = None,
         trace_snapshots: bool = False,
         algorithm: str = "",
+        check: bool = False,
     ) -> None:
         if on_infeasible not in ("skip", "stop", "raise"):
             raise PipelineError(f"bad on_infeasible {on_infeasible!r}")
@@ -154,6 +157,7 @@ class PassManager:
         self.verifier = verifier
         self.trace_snapshots = trace_snapshots
         self.algorithm = algorithm
+        self.check = check
 
     # -----------------------------------------------------------------
     def run(self, proc: Procedure) -> PipelineResult:
@@ -166,6 +170,8 @@ class PassManager:
             name: getattr(self.cache, name).stats() for name in self.cache.REGIONS
         }
 
+        check_diags: list = []
+
         def finish() -> PipelineResult:
             elapsed = time.perf_counter() - t_start
             trace = build_trace(
@@ -177,7 +183,38 @@ class PassManager:
                 elapsed_s=elapsed,
             )
             self._report_obs(proc, spans, t_start, elapsed, cache_before)
-            return PipelineResult(current, spans, ctx, trace, stopped=stopped)
+            return PipelineResult(
+                current, spans, ctx, trace, stopped=stopped,
+                check_diagnostics=check_diags,
+            )
+
+        pending: list = []  # this pass's check findings, for span.detail
+
+        if self.check:
+            from repro.check.diagnostics import errors_in
+            from repro.check.legality import postcheck, precheck_for_pipeline
+            from repro.check.verifier import verify_ir
+
+            def absorb(diags, where, span=None):
+                """Collect diagnostics; error severity fails the run fast."""
+                check_diags.extend(diags)
+                errs = errors_in(diags)
+                if not errs:
+                    return
+                if span is not None:
+                    span.status = "check-failed"
+                    span.error = errs[0].message
+                    span.detail = {
+                        **span.detail,
+                        "check": [d.to_dict() for d in pending],
+                    }
+                err = CheckError(
+                    f"check failed ({where}): {errs[0].pretty()}", check_diags
+                )
+                err.result = finish()
+                raise err
+
+            absorb(verify_ir(proc, ctx), "input IR")
 
         with installed(self.cache):
             for index, spec in enumerate(self.specs):
@@ -206,6 +243,12 @@ class PassManager:
                         stopped = True
                         break
                     continue
+
+                if self.check:
+                    pending = list(
+                        precheck_for_pipeline(spec.name, current, ctx, spec.options)
+                    )
+                    absorb(pending, f"pass {spec.name!r} legality precheck", span)
 
                 okey = _options_key(spec.options)
                 memo_key = None
@@ -261,6 +304,7 @@ class PassManager:
                     else:  # pragma: no cover - passes only emit ge/le
                         raise PipelineError(f"unknown ctx fact kind {kind!r}")
 
+                before_proc = current
                 current = new
                 span.status = "applied" if applied else "noop"
                 span.detail = detail
@@ -270,6 +314,22 @@ class PassManager:
                 span.wall_s = time.perf_counter() - t0
                 if self.trace_snapshots:
                     span.snapshot = to_fortran(current)
+
+                if self.check:
+                    post: list = []
+                    if span.status == "applied":
+                        post = postcheck(
+                            spec.name, before_proc, current, ctx, spec.options
+                        )
+                        post = post + verify_ir(current, ctx)
+                    pending = pending + post
+                    absorb(post, f"pass {spec.name!r} postcheck", span)
+                    if pending:
+                        span.detail = {
+                            **span.detail,
+                            "check": [d.to_dict() for d in pending],
+                        }
+                    span.wall_s = time.perf_counter() - t0
 
                 if self.verifier is not None and span.status == "applied":
                     try:

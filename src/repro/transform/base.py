@@ -32,21 +32,20 @@ def fresh_var(base: str, taken: set[str], style: str = "double") -> str:
     """A new variable name in the paper's style.
 
     'double' turns ``I`` into ``II`` and ``K`` into ``KK``; 'plain' tries
-    the base name itself first.  Numbered suffixes are the fallback.  The
-    chosen name is added to ``taken``.
+    the base name itself first.  Numbered suffixes are the unbounded
+    fallback.  The chosen name is added to ``taken``.
     """
-    candidates: list[str] = []
-    if style == "double":
-        candidates.append(base * 2 if len(base) == 1 else base + base[-1])
-    else:
-        candidates.append(base)
-    for k in range(1, 100):
-        candidates.append(f"{base}{k}")
-    for c in candidates:
-        if c not in taken:
-            taken.add(c)
-            return c
-    raise RuntimeError("namespace exhausted")  # pragma: no cover
+    first = (base * 2 if len(base) == 1 else base + base[-1]) \
+        if style == "double" else base
+    if first not in taken:
+        taken.add(first)
+        return first
+    k = 1
+    while f"{base}{k}" in taken:
+        k += 1
+    name = f"{base}{k}"
+    taken.add(name)
+    return name
 
 
 def non_comment(body: Sequence[Stmt]) -> list[Stmt]:

@@ -21,6 +21,7 @@ from repro.algorithms import (
 )
 from repro.blockability import Verdict, classify
 from repro.blockability.givens import optimize_givens
+from repro.check import lint_loop
 from repro.runtime import compile_procedure
 from repro.runtime.validate import assert_equivalent
 from repro.symbolic.assume import Assumptions
@@ -34,6 +35,10 @@ class TestLUNoPivot:
         assert not r.report.used_commutativity
         assert_equivalent(lu_point_ir(), r.procedure, {"N": 12, "KS": 4})
         assert "verdict: blockable" in r.describe()
+        # the static linter must agree with the transforming driver
+        lint = lint_loop(lu_point_ir(), "K",
+                         ctx=Assumptions().assume_ge("N", 2))
+        assert lint.verdict == r.verdict.value
 
 
 @pytest.mark.slow
@@ -52,6 +57,9 @@ class TestLUPivot:
         assert_equivalent(
             lu_pivot_point_ir(), r.procedure, {"N": 13, "KS": 4}, exact=False
         )
+        lint = lint_loop(lu_pivot_point_ir(), "K",
+                         ctx=Assumptions().assume_ge("N", 2))
+        assert lint.verdict == r.verdict.value
 
     def test_not_blockable_without_commutativity(self):
         r = classify(
@@ -62,6 +70,10 @@ class TestLUPivot:
             allow_commutativity=False,
         )
         assert r.verdict == Verdict.NOT_BLOCKABLE
+        lint = lint_loop(lu_pivot_point_ir(), "K",
+                         ctx=Assumptions().assume_ge("N", 2),
+                         allow_commutativity=False)
+        assert lint.verdict == r.verdict.value
 
 
 class TestHouseholder:
@@ -69,6 +81,8 @@ class TestHouseholder:
         ctx = Assumptions().assume_ge("M", 2).assume_ge("N", 2).assume_le("N", "M")
         r = classify(householder_point_ir(), "K", "KS", ctx=ctx)
         assert r.verdict == Verdict.NOT_BLOCKABLE
+        lint = lint_loop(householder_point_ir(), "K", ctx=ctx)
+        assert lint.verdict == r.verdict.value
 
 
 class TestGivens:
@@ -76,6 +90,13 @@ class TestGivens:
         ctx = Assumptions().assume_ge("M", 2).assume_le("N", "M")
         derived = optimize_givens(givens_point_ir(), ctx)
         assert derived.body == givens_optimized_ir().body
+
+    def test_not_blockable_agrees_with_driver(self):
+        ctx = Assumptions().assume_ge("M", 2).assume_le("N", "M")
+        r = classify(givens_point_ir(), "L", "LS", ctx=ctx)
+        assert r.verdict == Verdict.NOT_BLOCKABLE
+        lint = lint_loop(givens_point_ir(), "L", ctx=ctx)
+        assert lint.verdict == r.verdict.value
 
     def test_derived_is_bitwise_equivalent(self):
         ctx = Assumptions().assume_ge("M", 2).assume_le("N", "M")

@@ -1,0 +1,39 @@
+"""End-to-end tests of ``python -m repro.check``."""
+
+import json
+
+from repro.check.cli import main
+from repro.check.report import validate_report
+
+
+def test_rules_listing(capsys):
+    assert main(["--rules"]) == 0
+    out = capsys.readouterr().out
+    assert "ir/zero-step" in out
+    assert "legal/block-carried-recurrence" in out
+    assert "lint/blockable" in out
+
+
+def test_no_workload_is_usage_error(capsys):
+    assert main([]) == 2
+
+
+def test_unknown_workload_is_usage_error(capsys):
+    assert main(["nonesuch"]) == 2
+
+
+def test_lu_nopivot_clean_with_report(tmp_path, capsys):
+    path = tmp_path / "report.json"
+    assert main(["lu_nopivot", "--json", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "blockable" in out
+    doc = json.loads(path.read_text())
+    assert validate_report(doc) == []
+    assert doc["summary"]["error"] == 0
+    assert any(v["verdict"] == "blockable" for v in doc["verdicts"])
+
+
+def test_two_workloads_one_invocation(capsys):
+    assert main(["conv", "matmul"]) == 0
+    out = capsys.readouterr().out
+    assert "conv" in out and "matmul" in out

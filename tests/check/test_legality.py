@@ -1,0 +1,203 @@
+"""Mutation tests for the transformation-legality predicates: each
+seeded illegal transform must be flagged with its ``legal/*`` rule,
+and the paper's legal derivation steps must stay silent."""
+
+from repro.algorithms import lu_point_ir
+from repro.check import postcheck, precheck
+from repro.check.diagnostics import Severity
+from repro.check.legality import precheck_for_pipeline
+from repro.ir.build import assign, do, if_, ref
+from repro.ir.expr import Compare, Const, Var
+from repro.ir.stmt import ArrayDecl, Procedure
+from repro.symbolic.assume import Assumptions
+
+
+def proc_of(*body, arrays=None, params=("N",)):
+    arrays = arrays or (ArrayDecl("A", (Var("N"), Var("N"))),
+                        ArrayDecl("B", (Var("N"),)))
+    return Procedure("p", params, tuple(arrays), tuple(body))
+
+
+def rules_of(diags):
+    return {d.rule for d in diags}
+
+
+N2 = Assumptions().assume_ge("N", 2)
+
+
+# --- interchange: the (<, >) direction-vector rule -----------------------
+
+def skewed_nest():
+    """A(I,J) = A(I-1,J+1): the dependence is (<, >) — interchanging
+    I and J reverses it."""
+    return proc_of(
+        do("I", 2, "N",
+           do("J", 1, Var("N") - Const(1),
+              assign(ref("A", "I", "J"),
+                     ref("A", Var("I") - Const(1), Var("J") + Const(1))
+                     + Const(1))))
+    )
+
+
+def clean_nest():
+    """A(I,J) = A(I-1,J-1): direction (<, <) — interchange is legal."""
+    return proc_of(
+        do("I", 2, "N",
+           do("J", 2, "N",
+              assign(ref("A", "I", "J"),
+                     ref("A", Var("I") - Const(1), Var("J") - Const(1))
+                     + Const(1))))
+    )
+
+
+def test_interchange_across_lt_gt_dependence_flagged():
+    diags = precheck("interchange", skewed_nest(), N2, {"loop": "I"})
+    assert "legal/interchange-direction" in rules_of(diags)
+    assert all(d.severity == Severity.ERROR for d in diags)
+
+
+def test_legal_interchange_is_silent():
+    assert precheck("interchange", clean_nest(), N2, {"loop": "I"}) == []
+
+
+def test_interchange_bounds_written_in_nest():
+    p = proc_of(
+        do("I", 1, "N",
+           do("J", 1, Var("M"),
+              assign(Var("M"), Var("J") + Const(1)),
+              assign(ref("A", "I", "J"), Const(0)))),
+    )
+    diags = precheck("interchange", p, N2, {"loop": "I"})
+    assert "legal/interchange-bounds" in rules_of(diags)
+
+
+# --- jam: same rule, and the pipeline demotion ---------------------------
+
+def test_jam_carried_race_flagged():
+    diags = precheck("jam", skewed_nest(), N2, {"loop": "I"})
+    assert "legal/jam-carried-race" in rules_of(diags)
+    assert all(d.severity == Severity.ERROR for d in diags)
+
+
+def test_jam_demoted_to_warning_for_pipeline():
+    diags = precheck_for_pipeline("jam", skewed_nest(), N2, {"loop": "I"})
+    assert "legal/jam-carried-race" in rules_of(diags)
+    assert all(d.severity == Severity.WARNING for d in diags)
+
+
+# --- stripmine / block ---------------------------------------------------
+
+def test_stripmine_nonunit_step_flagged():
+    p = proc_of(do("I", 1, "N", assign(ref("B", "I"), Const(0)), step=2))
+    assert "legal/stripmine-step" in rules_of(
+        precheck("stripmine", p, N2, {"loop": "I"}))
+
+
+def test_stripmine_bad_factor_flagged():
+    p = proc_of(do("I", 1, "N", assign(ref("B", "I"), Const(0))))
+    assert "legal/stripmine-factor" in rules_of(
+        precheck("stripmine", p, N2, {"loop": "I", "factor": 0}))
+
+
+def test_block_lu_with_split_budget_is_legal():
+    diags = precheck("block", lu_point_ir(), N2,
+                     {"loop": "K", "factor": "KS"})
+    assert diags == []
+
+
+def test_block_over_carried_recurrence_without_split_flagged():
+    diags = precheck("block", lu_point_ir(), N2,
+                     {"loop": "K", "factor": "KS", "max_splits": 0})
+    assert "legal/block-carried-recurrence" in rules_of(diags)
+    assert all(d.severity == Severity.ERROR for d in diags)
+
+
+# --- distribute: the Allen–Kennedy postcondition -------------------------
+
+def recurrence_pair():
+    s1 = assign(ref("A", "I"), ref("B", Var("I") - Const(1)) + Const(1))
+    s2 = assign(ref("B", "I"), ref("A", Var("I") - Const(1)) + Const(1))
+    arrays = (ArrayDecl("A", (Var("N"),)), ArrayDecl("B", (Var("N"),)))
+    before = proc_of(do("I", 2, "N", s1, s2), arrays=arrays)
+    broken = proc_of(do("I", 2, "N", s1), do("I", 2, "N", s2), arrays=arrays)
+    return before, broken
+
+
+def test_distribution_through_cycle_flagged():
+    before, broken = recurrence_pair()
+    diags = postcheck("distribute", before, broken, N2, {"loop": "I"})
+    assert "legal/distribution-cycle" in rules_of(diags)
+
+
+def test_distribution_of_independent_statements_is_silent():
+    s1 = assign(ref("A", "I"), Const(1))
+    s2 = assign(ref("B", "I"), Const(2))
+    arrays = (ArrayDecl("A", (Var("N"),)), ArrayDecl("B", (Var("N"),)))
+    before = proc_of(do("I", 1, "N", s1, s2), arrays=arrays)
+    after = proc_of(do("I", 1, "N", s1), do("I", 1, "N", s2), arrays=arrays)
+    assert postcheck("distribute", before, after, N2, {"loop": "I"}) == []
+
+
+# --- split: pieces must partition the range ------------------------------
+
+def one_loop(lo, hi):
+    return do("I", lo, hi, assign(ref("B", "I"), Const(0)))
+
+
+def test_split_with_gap_flagged():
+    before = proc_of(one_loop(1, 10))
+    after = proc_of(one_loop(1, 5), one_loop(7, 10))  # 6 is lost
+    diags = postcheck("split", before, after, Assumptions(), {"loop": "I"})
+    assert "legal/split-partition" in rules_of(diags)
+
+
+def test_split_with_overlap_flagged():
+    before = proc_of(one_loop(1, 10))
+    after = proc_of(one_loop(1, 6), one_loop(6, 10))  # 6 runs twice
+    diags = postcheck("split", before, after, Assumptions(), {"loop": "I"})
+    assert "legal/split-partition" in rules_of(diags)
+
+
+def test_exact_split_is_silent():
+    before = proc_of(one_loop(1, 10))
+    after = proc_of(one_loop(1, 5), one_loop(6, 10))
+    assert postcheck("split", before, after, Assumptions(),
+                     {"loop": "I"}) == []
+
+
+def test_preexisting_adjacent_loops_are_not_pieces():
+    """Two same-variable loops that were already adjacent in the input
+    (conv's init + compute idiom) must not be mistaken for split pieces."""
+    before = proc_of(one_loop(1, 5), one_loop(7, 10))
+    after = proc_of(one_loop(1, 5), one_loop(7, 10))
+    assert postcheck("split", before, after, Assumptions(),
+                     {"loop": "I"}) == []
+
+
+def test_unprovable_symbolic_meet_is_silent():
+    """MIN/MAX trapezoid bounds the context cannot order stay silent —
+    only *provable* overlap or gap is an error."""
+    before = proc_of(one_loop(1, "N"))
+    after = proc_of(
+        one_loop(1, Var("M")), one_loop(Var("K"), "N"),
+        params=("N", "M", "K"),
+    )
+    assert postcheck("split", before, after, Assumptions(),
+                     {"loop": "I"}) == []
+
+
+# --- if_inspection -------------------------------------------------------
+
+def test_if_inspection_needs_guarded_body():
+    p = proc_of(do("I", 1, "N", assign(ref("B", "I"), Const(0))))
+    assert "legal/if-inspection-shape" in rules_of(
+        precheck("if_inspection", p, N2, {"loop": "I"}))
+
+
+def test_if_inspection_guarded_body_is_silent():
+    p = proc_of(
+        do("I", 1, "N",
+           if_(Compare("ne", ref("B", "I"), Const(0)),
+               assign(ref("B", "I"), Const(0))))
+    )
+    assert precheck("if_inspection", p, N2, {"loop": "I"}) == []

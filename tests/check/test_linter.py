@@ -1,0 +1,80 @@
+"""The blockability linter must reproduce the Sec. 5 study statically —
+no transformation runs, yet the verdicts match the transforming driver."""
+
+import pytest
+
+from repro.algorithms import (
+    givens_point_ir,
+    householder_point_ir,
+    lu_pivot_point_ir,
+    lu_point_ir,
+)
+from repro.check import lint_blockability, lint_loop
+from repro.check.linter import (
+    BLOCKABLE,
+    BLOCKABLE_WITH_COMMUTATIVITY,
+    NOT_BLOCKABLE,
+)
+from repro.ir.build import assign, do, ref
+from repro.ir.expr import Const, Var
+from repro.ir.stmt import ArrayDecl, Procedure
+from repro.symbolic.assume import Assumptions
+
+N2 = Assumptions().assume_ge("N", 2)
+MN = Assumptions().assume_ge("M", 2).assume_le("N", "M")
+
+
+def test_lu_nopivot_blockable():
+    r = lint_loop(lu_point_ir(), "K", ctx=N2)
+    assert r.verdict == BLOCKABLE
+    assert r.escapes  # names the loops that escape the recurrence
+
+
+def test_lu_pivot_blockable_with_commutativity():
+    r = lint_loop(lu_pivot_point_ir(), "K", ctx=N2)
+    assert r.verdict == BLOCKABLE_WITH_COMMUTATIVITY
+
+
+def test_lu_pivot_not_blockable_without_commutativity():
+    r = lint_loop(lu_pivot_point_ir(), "K", ctx=N2,
+                  allow_commutativity=False)
+    assert r.verdict == NOT_BLOCKABLE
+    assert r.preventing  # names a transformation-preventing dependence
+
+
+def test_householder_not_blockable():
+    ctx = MN.assume_ge("N", 2)
+    r = lint_loop(householder_point_ir(), "K", ctx=ctx)
+    assert r.verdict == NOT_BLOCKABLE
+
+
+def test_givens_not_blockable():
+    # Sec. 5.4: the rotation guard buries DO K inside an IF — the strip
+    # loop cannot sink through the imperfect nest
+    r = lint_loop(givens_point_ir(), "L", ctx=MN)
+    assert r.verdict == NOT_BLOCKABLE
+
+
+def test_innermost_loop_is_not_blockable():
+    p = Procedure(
+        "flat", ("N",), (ArrayDecl("B", (Var("N"),)),),
+        (do("I", 1, "N", assign(ref("B", "I"), Const(0))),),
+    )
+    r = lint_loop(p, "I", ctx=N2)
+    assert r.verdict == NOT_BLOCKABLE
+    assert "innermost" in r.reason
+
+
+def test_lint_blockability_covers_every_outer_loop():
+    results = lint_blockability(lu_point_ir(), ctx=N2)
+    assert [r.loop_var for r in results] == ["K"]
+    assert results[0].verdict == BLOCKABLE
+
+
+def test_diagnostic_mirrors_verdict():
+    d = lint_loop(lu_point_ir(), "K", ctx=N2).diagnostic()
+    assert d.rule == "lint/blockable"
+    assert d.severity.value == "info"
+    d = lint_loop(givens_point_ir(), "L", ctx=MN).diagnostic()
+    assert d.rule == "lint/not-blockable"
+    assert d.severity.value == "warning"

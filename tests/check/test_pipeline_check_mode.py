@@ -1,0 +1,73 @@
+"""``--check`` mode: the PassManager brackets every pass with legality
+pre/postchecks and IR re-verification, failing fast with structured
+diagnostics, and the CLIs expose it."""
+
+import pytest
+
+from repro.algorithms import lu_point_ir
+from repro.errors import CheckError
+from repro.ir.build import assign, do, ref
+from repro.ir.expr import Const, Var
+from repro.ir.stmt import ArrayDecl, Procedure
+from repro.pipeline import PassManager, PassSpec, derive
+from repro.pipeline.cache import AnalysisCache
+from repro.pipeline.cli import main as pipeline_main
+from repro.symbolic.assume import Assumptions
+
+N2 = Assumptions().assume_ge("N", 2)
+
+
+def test_default_derivations_are_check_clean():
+    for name in ("lu_nopivot", "conv", "matmul"):
+        result = derive(name, cache=AnalysisCache(), check=True)
+        errs = [d for d in result.check_diagnostics
+                if d.severity.value == "error"]
+        assert errs == [], name
+
+
+def test_malformed_input_ir_fails_fast():
+    bad = Procedure(
+        "bad", ("N",), (ArrayDecl("B", (Var("N"),)),),
+        (do("I", 1, "N", do("I", 1, "N",
+                            assign(ref("B", "I"), Const(0)))),),
+    )
+    mgr = PassManager([PassSpec("stripmine", {"loop": "I", "factor": 4})],
+                      ctx=N2, check=True)
+    with pytest.raises(CheckError) as exc:
+        mgr.run(bad)
+    assert any(d.rule == "ir/shadowed-induction" for d in exc.value.diagnostics)
+    assert exc.value.result is not None  # partial result for offline triage
+
+
+def test_illegal_block_config_fails_fast_with_rule():
+    mgr = PassManager(
+        [PassSpec("block",
+                  {"loop": "K", "factor": "KS", "max_splits": 0})],
+        ctx=N2, check=True,
+    )
+    with pytest.raises(CheckError) as exc:
+        mgr.run(lu_point_ir())
+    assert any(d.rule == "legal/block-carried-recurrence"
+               for d in exc.value.diagnostics)
+    span = exc.value.result.spans[0]
+    assert span.status == "check-failed"
+    assert "check" in span.detail
+
+
+def test_check_off_does_not_populate_diagnostics():
+    result = derive("lu_nopivot", cache=AnalysisCache(), check=False)
+    assert result.check_diagnostics == []
+
+
+def test_pipeline_cli_check_flag_ok(capsys):
+    assert pipeline_main(["-a", "lu_nopivot", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "lu_nopivot" in out
+
+
+def test_bench_cli_check_flag_ok(tmp_path, capsys):
+    from repro.pipeline.bench import main as bench_main
+
+    path = tmp_path / "bench.json"
+    assert bench_main([str(path), "--check"]) == 0
+    assert path.exists()

@@ -1,0 +1,69 @@
+"""The ``repro.check/1`` report: build → validate round trip, and the
+validator must catch tampered documents."""
+
+import json
+
+from repro.check import SCHEMA, build_report, validate_report, write_report
+from repro.check.diagnostics import diag
+from repro.check.linter import LintResult
+
+
+def sample_report():
+    diags = [
+        diag("ir/zero-step", "p/DO I", "DO I has step 0"),
+        diag("lint/blockable", "p/DO K", "escapes"),
+    ]
+    verdicts = [LintResult("p", "K", "blockable", "escapes")]
+    return build_report(diags, verdicts=verdicts,
+                        meta={"tool": "test", "n": 3})
+
+
+def test_built_report_is_valid():
+    doc = sample_report()
+    assert doc["schema"] == SCHEMA
+    assert validate_report(doc) == []
+    assert doc["summary"] == {"error": 1, "warning": 0, "info": 1}
+    assert doc["meta"]["n"] == "3"  # meta values are coerced to strings
+    assert doc["verdicts"][0]["loop"] == "K"
+
+
+def test_report_survives_json_round_trip(tmp_path):
+    path = tmp_path / "report.json"
+    write_report(str(path), sample_report())
+    doc = json.loads(path.read_text())
+    assert validate_report(doc) == []
+
+
+def test_wrong_schema_rejected():
+    doc = sample_report()
+    doc["schema"] = "repro.check/0"
+    assert any("schema" in p for p in validate_report(doc))
+
+
+def test_tampered_summary_rejected():
+    doc = sample_report()
+    doc["summary"]["error"] = 7
+    assert any("summary" in p for p in validate_report(doc))
+
+
+def test_uncatalogued_rule_rejected():
+    doc = sample_report()
+    doc["diagnostics"][0]["rule"] = "ir/made-up"
+    assert any("uncatalogued" in p for p in validate_report(doc))
+
+
+def test_bad_severity_rejected():
+    doc = sample_report()
+    doc["diagnostics"][0]["severity"] = "fatal"
+    assert any("severity" in p for p in validate_report(doc))
+
+
+def test_bad_verdict_rejected():
+    doc = sample_report()
+    doc["verdicts"][0]["verdict"] = "maybe"
+    assert any("verdict" in p for p in validate_report(doc))
+
+
+def test_missing_fields_rejected():
+    assert validate_report({"schema": SCHEMA}) != []
+    assert validate_report([]) != []

@@ -1,0 +1,152 @@
+"""Mutation tests for the IR verifier: every ``ir/*`` rule must fire on
+its seeded defect and stay silent on the well-formed original."""
+
+import pytest
+
+from repro.check import verify_ir
+from repro.check.diagnostics import Severity, errors_in
+from repro.ir.build import assign, block_do, do, if_, in_do, ref
+from repro.ir.expr import Call, Compare, Const, Var
+from repro.ir.stmt import ArrayDecl, Procedure
+from repro.pipeline.workloads import available_workloads
+from repro.symbolic.assume import Assumptions
+
+
+def proc_2d(*body):
+    return Procedure(
+        "p",
+        ("N",),
+        (ArrayDecl("A", (Var("N"), Var("N"))), ArrayDecl("B", (Var("N"),))),
+        tuple(body),
+    )
+
+
+def rules_of(diags):
+    return {d.rule for d in diags}
+
+
+def test_well_formed_is_clean():
+    p = proc_2d(
+        do("I", 1, "N", do("J", 1, "N",
+                           assign(ref("A", "I", "J"), ref("B", "I") + Const(1))))
+    )
+    assert verify_ir(p) == []
+
+
+def test_all_workload_builds_are_clean():
+    for w in available_workloads():
+        assert verify_ir(w.build(), w.context(None)) == [], w.name
+
+
+def test_shadowed_induction():
+    p = proc_2d(do("I", 1, "N", do("I", 1, "N",
+                                   assign(ref("B", "I"), Const(0)))))
+    diags = verify_ir(p)
+    assert "ir/shadowed-induction" in rules_of(diags)
+
+
+def test_undeclared_array():
+    p = proc_2d(do("I", 1, "N", assign(ref("Z", "I"), Const(0))))
+    assert "ir/undeclared-array" in rules_of(verify_ir(p))
+
+
+def test_rank_mismatch():
+    p = proc_2d(do("I", 1, "N", assign(ref("B", "I", "I"), Const(0))))
+    assert "ir/rank-mismatch" in rules_of(verify_ir(p))
+
+
+def test_zero_step():
+    p = proc_2d(do("I", 1, "N", assign(ref("B", "I"), Const(0)), step=0))
+    assert "ir/zero-step" in rules_of(verify_ir(p))
+
+
+def test_provably_zero_step_via_context():
+    p = proc_2d(do("I", 1, "N", assign(ref("B", "I"), Const(0)),
+                   step=Var("S")))
+    ctx = Assumptions().assume_ge("S", 0).assume_le("S", 0)
+    assert "ir/zero-step" in rules_of(verify_ir(p, ctx))
+    # without the assumption the step is just unknown — no diagnostic
+    assert "ir/zero-step" not in rules_of(verify_ir(p))
+
+
+def test_self_referential_bound():
+    p = proc_2d(do("I", 1, Var("I"), assign(ref("B", "I"), Const(0))))
+    assert "ir/self-referential-bound" in rules_of(verify_ir(p))
+
+
+def test_undefined_var():
+    p = proc_2d(do("I", 1, "N", assign(ref("B", "I"), Var("Q"))))
+    assert "ir/undefined-var" in rules_of(verify_ir(p))
+
+
+def test_array_used_as_scalar():
+    p = proc_2d(do("I", 1, "N", assign(ref("B", "I"), Var("A"))))
+    assert "ir/array-used-as-scalar" in rules_of(verify_ir(p))
+
+
+def test_assign_to_induction():
+    p = proc_2d(do("I", 1, "N", assign(Var("I"), Const(3))))
+    assert "ir/assign-to-induction" in rules_of(verify_ir(p))
+
+
+def test_in_do_without_block():
+    p = proc_2d(
+        do("J", 1, "N",
+           in_do("K", "KK", assign(ref("B", "KK"), Const(0))))
+    )
+    assert "ir/in-do-without-block" in rules_of(verify_ir(p))
+
+
+def test_in_do_inside_matching_block_is_clean():
+    p = proc_2d(
+        block_do("K", 1, "N",
+                 in_do("K", "KK", assign(ref("B", "KK"), Const(0))))
+    )
+    assert verify_ir(p) == []
+
+
+def test_last_outside_block():
+    p = proc_2d(
+        do("J", 1, "N",
+           assign(ref("B", "J"), Call("LAST", (Var("J"),))))
+    )
+    assert "ir/last-outside-block" in rules_of(verify_ir(p))
+
+
+def test_last_inside_block_is_clean():
+    p = proc_2d(
+        block_do("K", 1, "N",
+                 do("J", Var("K"), Call("LAST", (Var("K"),)),
+                    assign(ref("B", "J"), Const(0))))
+    )
+    assert verify_ir(p) == []
+
+
+def test_last_arity():
+    p = proc_2d(
+        block_do("K", 1, "N",
+                 assign(ref("B", "K"), Call("LAST", (Var("K"), Var("K")))))
+    )
+    assert "ir/last-arity" in rules_of(verify_ir(p))
+
+
+def test_all_ir_diagnostics_are_errors():
+    p = proc_2d(do("I", 1, "N", do("I", 1, Var("I"),
+                                   assign(ref("Z", "I"), Var("Q")),
+                                   step=0)))
+    diags = verify_ir(p)
+    assert diags and errors_in(diags) == diags
+    assert all(d.severity == Severity.ERROR for d in diags)
+    # diagnostics carry a clickable-ish path and a pretty line
+    for d in diags:
+        assert d.path.startswith("p/DO I")
+        assert d.rule in d.pretty() and d.path in d.pretty()
+
+
+def test_conditions_inside_if_are_checked():
+    p = proc_2d(
+        do("I", 1, "N",
+           if_(Compare("ne", ref("Z", "I"), Const(0)),
+               assign(ref("B", "I"), Const(0))))
+    )
+    assert "ir/undeclared-array" in rules_of(verify_ir(p))

@@ -1,10 +1,11 @@
-"""Property: pretty-print then re-parse is the identity on procedures."""
+"""Property: pretty-print then re-parse is the identity on procedures,
+including the Sec. 6 ``BLOCK DO`` / ``IN ... DO`` / ``LAST()`` surface."""
 
 from hypothesis import given, settings, strategies as st
 
 from repro.frontend import parse_procedure
-from repro.ir.build import assign, do, if_, ref
-from repro.ir.expr import Compare, Const, Min, Max, Var
+from repro.ir.build import assign, block_do, do, if_, in_do, ref
+from repro.ir.expr import Call, Compare, Const, Min, Max, Var
 from repro.ir.pretty import to_fortran
 from repro.ir.stmt import ArrayDecl, Procedure
 from repro.ir.visit import strip_labels
@@ -61,6 +62,46 @@ def procedures(draw):
 @given(procedures())
 def test_roundtrip(proc):
     text = to_fortran(proc)
+    back = parse_procedure(text)
+    assert simplify_procedure(strip_labels(back)).body == simplify_procedure(proc).body
+    assert back.params == proc.params
+    assert back.arrays == proc.arrays
+
+
+def LAST(v):
+    return Call("LAST", (Var(v),))
+
+
+@st.composite
+def block_procedures(draw):
+    """Sec. 6 nests: BLOCK DO hosting IN ... DO (bounded or whole-block)
+    and ordinary DO loops whose bounds use LAST()."""
+    update = assign(
+        ref("A", draw(exprs(depth=1, idx_vars=("KK",)))),
+        ref("A", Var("KK")) + Const(1.0),
+    )
+    if draw(st.booleans()):
+        inner = in_do("K", "KK", update)  # bounds default to the block
+    else:
+        inner = in_do("K", "KK", update, lo=Var("K"), hi=LAST("K"))
+    stmts = [inner]
+    if draw(st.booleans()):
+        stmts.append(
+            do("J", Var("K"), LAST("K"),
+               assign(ref("A", Var("J")), Const(0.0)))
+        )
+    blk = block_do("K", draw(exprs(depth=1, idx_vars=())), "N",
+                   *draw(st.permutations(stmts)))
+    return Procedure(
+        "RTB", ("N",), (ArrayDecl("A", (Var("N") * 8 + 64,)),), (blk,)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(block_procedures())
+def test_block_roundtrip(proc):
+    text = to_fortran(proc)
+    assert "BLOCK DO" in text and "IN K DO" in text
     back = parse_procedure(text)
     assert simplify_procedure(strip_labels(back)).body == simplify_procedure(proc).body
     assert back.params == proc.params

@@ -1,0 +1,40 @@
+"""Regression tests for :func:`repro.transform.base.fresh_var`: the
+numbered-suffix fallback is unbounded (it used to die at 99)."""
+
+from repro.transform.base import fresh_var
+
+
+def test_double_style_prefers_doubled_name():
+    taken = {"K"}
+    assert fresh_var("K", taken) == "KK"
+    assert "KK" in taken
+
+
+def test_plain_style_prefers_base():
+    taken = {"N"}
+    assert fresh_var("I", taken, style="plain") == "I"
+
+
+def test_falls_back_to_numbered_suffix():
+    taken = {"K", "KK"}
+    assert fresh_var("K", taken) == "K1"
+    assert fresh_var("K", taken) == "K2"
+
+
+def test_multichar_base_doubles_last_char():
+    assert fresh_var("KS", {"KS"}) == "KSS"
+
+
+def test_namespace_never_exhausts():
+    # regression: the fallback was capped at 99 numbered suffixes and
+    # raised RuntimeError("namespace exhausted") on the 100th request
+    taken = set()
+    names = [fresh_var("I", taken) for _ in range(250)]
+    assert len(names) == len(set(names)) == 250
+    assert "I150" in taken
+
+
+def test_respects_pre_populated_gaps():
+    taken = {"I", "II", "I1", "I3"}
+    assert fresh_var("I", taken) == "I2"
+    assert fresh_var("I", taken) == "I4"
