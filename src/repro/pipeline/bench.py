@@ -1,36 +1,59 @@
 """Machine-readable pipeline benchmark: ``python -m repro.pipeline.bench``.
 
-Runs the paper's derivations (LU, Givens, convolution / auto-convolution)
-through the pass manager twice against one shared analysis cache — a
-**cold** pass that pays for every dependence / Fourier–Motzkin / section
-query, then a **warm** pass that replays from the cache — and writes
-``BENCH_pipeline.json`` with per-pass wall times and per-region hit
-rates.  Future PRs diff this file to see whether the analysis hot path
-moved.  ``--obs OUT.json`` additionally captures a ``repro.obs/1``
-metrics profile (pass spans, dependence/FM query counts and latencies)
-of the same run, so the BENCH artifact carries its own explanation.
+Two modes over one workload set (:data:`BENCH_WORKLOADS` — the paper's
+derivations plus recipe/checked variants, sized so the set parallelizes
+meaningfully):
 
-Schema::
+- **classic** (default): runs every entry twice in-process against one
+  shared analysis cache — a **cold** pass that pays for every
+  dependence / Fourier–Motzkin / section query, then a **warm** pass
+  that replays from the cache — and writes ``BENCH_pipeline.json`` with
+  per-pass wall times and per-region hit rates.  Future PRs diff this
+  file to see whether the analysis hot path moved.
+- **pool** (``--jobs N``): routes every entry as a ``derive`` job
+  through the :mod:`repro.serve` worker pool against the persistent
+  artifact store, so the suite spreads across cores and a warm
+  ``.repro-cache/`` short-circuits whole derivations: a second run in a
+  fresh process completes with zero pass executions (all store hits)
+  and byte-identical derived IR (asserted via the recorded fingerprint
+  and ``ir_sha256``).
+
+``--obs OUT.json`` additionally captures a ``repro.obs/1`` metrics
+profile of the same run, so the BENCH artifact carries its own
+explanation.
+
+Classic schema (``"mode": "inprocess"``)::
 
     {
       "schema": "repro.pipeline.bench/1",
+      "mode": "inprocess",
       "workloads": {
-        "<name>": {
+        "<label>": {
+          "workload": "lu_nopivot",
           "passes": ["block", ...],
           "cold": {"elapsed_s": f, "spans": [{"pass","status","wall_s","cached"}]},
           "warm": {...same shape, spans mostly cached...},
           "warm_speedup": f
         }, ...
       },
-      "cache": { "<region>": {"hits","misses","entries","hit_rate"}, ... }
+      "cache": { "<region>": {"hits","misses","entries","evictions",
+                              "hit_rate"}, ... }
     }
+
+Pool schema (``"mode": "pool"``) replaces ``cold``/``warm`` with the
+job outcome — ``status`` (``hit|computed|retried|...``), ``wall_s``,
+``worker``, ``pass_executions`` (0 on a store hit), ``fingerprint``,
+``ir_sha256`` — and reports ``pool`` and ``store`` statistics instead
+of the in-process ``cache`` block.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import sys
+import time
 from typing import Optional
 
 from repro.errors import CheckError
@@ -39,17 +62,26 @@ from repro.obs import export as obs_export
 from repro.pipeline import derive
 from repro.pipeline.cache import AnalysisCache
 
-#: what to measure: (workload, pass list or None for the default pipeline)
+#: what to measure: (label, workload, pass list or None for the default
+#: pipeline, run under the repro.check gate).  Labels key the JSON.
 BENCH_WORKLOADS = (
-    ("lu_nopivot", None),
-    ("givens", ["givens_opt", "scalars"]),
-    ("conv", None),
-    ("aconv", None),
+    ("lu_nopivot", "lu_nopivot", None, False),
+    ("lu_split_block_jam", "lu_nopivot", ("split", "block", "jam"), False),
+    ("lu_checked", "lu_nopivot", None, True),
+    ("givens", "givens", ("givens_opt", "scalars"), False),
+    ("conv", "conv", None, False),
+    ("aconv", "aconv", None, False),
+    ("matmul", "matmul", None, False),
 )
 
 
 def _run(name: str, passes, cache: AnalysisCache, check: bool = False) -> dict:
-    result = derive(name, passes=passes, cache=cache, check=check)
+    result = derive(
+        name,
+        passes=list(passes) if passes is not None else None,
+        cache=cache,
+        check=check,
+    )
     return {
         "elapsed_s": round(result.trace["elapsed_s"], 4),
         "spans": [
@@ -67,10 +99,12 @@ def _run(name: str, passes, cache: AnalysisCache, check: bool = False) -> dict:
 def run_bench(check: bool = False) -> dict:
     cache = AnalysisCache()
     workloads = {}
-    for name, passes in BENCH_WORKLOADS:
-        cold = _run(name, passes, cache, check=check)
-        warm = _run(name, passes, cache, check=check)
-        workloads[name] = {
+    for label, name, passes, entry_check in BENCH_WORKLOADS:
+        checked = check or entry_check
+        cold = _run(name, passes, cache, check=checked)
+        warm = _run(name, passes, cache, check=checked)
+        workloads[label] = {
+            "workload": name,
             "passes": [s["pass"] for s in cold["spans"]],
             "cold": cold,
             "warm": warm,
@@ -82,17 +116,135 @@ def run_bench(check: bool = False) -> dict:
         }
     return {
         "schema": "repro.pipeline.bench/1",
+        "mode": "inprocess",
         "workloads": workloads,
         "cache": cache.stats(),
     }
 
 
+def run_bench_pool(
+    jobs: int,
+    store_dir: Optional[str] = None,
+    use_store: bool = True,
+    check: bool = False,
+) -> dict:
+    """The same workload set as derive jobs on a ``repro.serve`` pool."""
+    from repro.serve.jobs import JobSpec
+    from repro.serve.pool import WorkerPool
+    from repro.serve.store import ArtifactStore
+
+    store = ArtifactStore(store_dir) if use_store else None
+    specs = [
+        JobSpec(
+            kind="derive",
+            workload=name,
+            passes=passes,
+            check=check or entry_check,
+            timeout_s=300.0,
+            label=label,
+        )
+        for label, name, passes, entry_check in BENCH_WORKLOADS
+    ]
+    t0 = time.perf_counter()
+    with WorkerPool(workers=jobs, store=store) as pool:
+        outcomes = pool.run(specs)
+        elapsed = time.perf_counter() - t0
+        workloads = {}
+        for (label, name, _, _), out in zip(BENCH_WORKLOADS, outcomes):
+            value = out.value or {}
+            ir = value.get("ir", "")
+            workloads[label] = {
+                "workload": name,
+                "passes": value.get("passes", []),
+                "status": out.status,
+                "wall_s": round(out.wall_s, 4),
+                "worker": out.worker,
+                "attempts": out.attempts,
+                "error": out.error,
+                # executed *this run*: a store hit replays, runs nothing
+                "pass_executions": (
+                    0 if out.status == "hit" else value.get("pass_executions", 0)
+                ),
+                "fingerprint": value.get("fingerprint"),
+                "ir_sha256": (
+                    hashlib.sha256(ir.encode("utf-8")).hexdigest() if ir else None
+                ),
+            }
+        return {
+            "schema": "repro.pipeline.bench/1",
+            "mode": "pool",
+            "jobs": jobs,
+            "workloads": workloads,
+            "pool": pool.stats(),
+            "store": (
+                {"enabled": True, **store.stats()}
+                if store is not None
+                else {"enabled": False}
+            ),
+            "elapsed_s": round(elapsed, 4),
+        }
+
+
+def _print_classic(bench: dict) -> None:
+    for label, data in bench["workloads"].items():
+        print(
+            f"{label:<20} cold {data['cold']['elapsed_s']:7.3f}s  "
+            f"warm {data['warm']['elapsed_s']:7.3f}s  "
+            f"(x{data['warm_speedup']})"
+        )
+    for region, stats in bench["cache"].items():
+        print(
+            f"cache[{region}]: {stats['hits']} hits / {stats['misses']} misses "
+            f"({stats['hit_rate']:.0%}, {stats['evictions']} evictions)"
+        )
+
+
+def _print_pool(bench: dict) -> None:
+    executions = 0
+    hits = 0
+    for label, data in bench["workloads"].items():
+        worker = f"w{data['worker']}" if data["worker"] is not None else "--"
+        print(
+            f"{label:<20} {data['status']:<9} {data['wall_s']:7.3f}s  "
+            f"{worker}  {data['pass_executions']} pass exec"
+        )
+        executions += data["pass_executions"]
+        hits += data["status"] == "hit"
+    total = len(bench["workloads"])
+    print(
+        f"{total} job(s) on {bench['jobs']} worker(s) in "
+        f"{bench['elapsed_s']:.3f}s: {hits} store hit(s), "
+        f"{executions} pass execution(s)"
+    )
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.pipeline.bench",
-        description="benchmark the pass pipeline (cold vs warm analysis cache)",
+        description="benchmark the pass pipeline (cold vs warm analysis "
+        "cache, or --jobs N for a parallel run against the artifact store)",
     )
     parser.add_argument("path", nargs="?", default="BENCH_pipeline.json")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run the workloads as derive jobs on an N-worker repro.serve "
+        "pool backed by the artifact store (default: classic in-process "
+        "cold/warm bench)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        metavar="PATH",
+        help="artifact store root for --jobs (default .repro-cache/ or "
+        "$REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="with --jobs: compute everything, skip the artifact store",
+    )
     parser.add_argument(
         "--obs",
         metavar="PATH",
@@ -106,21 +258,34 @@ def main(argv: Optional[list] = None) -> int:
     )
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
     path = args.path
+    if args.jobs < 0:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    def compute() -> dict:
+        if args.jobs:
+            return run_bench_pool(
+                args.jobs,
+                store_dir=args.store_dir,
+                use_store=not args.no_store,
+                check=args.check,
+            )
+        return run_bench(check=args.check)
 
     try:
         if args.obs:
             with obs_core.enabled() as o:
-                bench = run_bench(check=args.check)
+                bench = compute()
             obs_export.write_json(
                 args.obs,
                 obs_export.metrics(
                     o,
                     meta={"tool": "repro.pipeline.bench"},
-                    analysis_cache=bench["cache"],
+                    analysis_cache=bench.get("cache"),
                 ),
             )
         else:
-            bench = run_bench(check=args.check)
+            bench = compute()
     except CheckError as e:
         print(f"CHECK FAILED: {e}", file=sys.stderr)
         for d in e.diagnostics:
@@ -129,20 +294,22 @@ def main(argv: Optional[list] = None) -> int:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(bench, fh, indent=2)
         fh.write("\n")
-    for name, data in bench["workloads"].items():
-        print(
-            f"{name:<12} cold {data['cold']['elapsed_s']:7.3f}s  "
-            f"warm {data['warm']['elapsed_s']:7.3f}s  "
-            f"(x{data['warm_speedup']})"
-        )
-    for region, stats in bench["cache"].items():
-        print(
-            f"cache[{region}]: {stats['hits']} hits / {stats['misses']} misses "
-            f"({stats['hit_rate']:.0%})"
-        )
+    if bench["mode"] == "pool":
+        _print_pool(bench)
+    else:
+        _print_classic(bench)
     print(f"wrote {path}")
     if args.obs:
         print(f"obs metrics written to {args.obs}")
+    if bench["mode"] == "pool":
+        bad = [
+            label
+            for label, data in bench["workloads"].items()
+            if data["status"] in ("timeout", "failed")
+        ]
+        if bad:
+            print(f"FAILED job(s): {', '.join(bad)}", file=sys.stderr)
+            return 1
     return 0
 
 

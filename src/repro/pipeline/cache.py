@@ -33,6 +33,7 @@ run.  ``GLOBAL_CACHE`` is the default shared instance.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Callable, Optional
 
@@ -47,14 +48,24 @@ _REGION_CAP = 65536
 
 
 class CacheRegion:
-    """One keyed store with hit/miss counters."""
+    """One keyed store with hit/miss/eviction counters and an LRU bound.
+
+    The region never holds more than ``cap`` entries: inserting into a
+    full region evicts the least-recently-*used* entry (hits refresh
+    recency), one at a time, so a long-running service converges on its
+    working set instead of flushing it wholesale or growing without
+    limit.  ``evictions`` counts what the bound cost.
+    """
 
     def __init__(self, name: str, cap: int = _REGION_CAP):
+        if cap < 1:
+            raise ValueError(f"region {name!r} needs cap >= 1, got {cap}")
         self.name = name
         self.cap = cap
         self.hits = 0
         self.misses = 0
-        self._store: dict = {}
+        self.evictions = 0
+        self._store: OrderedDict = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._store)
@@ -65,28 +76,32 @@ class CacheRegion:
         except KeyError:
             self.misses += 1
             value = compute()
-            if len(self._store) >= self.cap:
-                self._store.clear()  # simple full flush; correctness unaffected
-            self._store[key] = value
+            self.put(key, value)
             return value
         self.hits += 1
+        self._store.move_to_end(key)
         return value
 
     def peek(self, key):
         """Like get_or without compute: (hit, value)."""
-        if key in self._store:
-            self.hits += 1
-            return True, self._store[key]
-        self.misses += 1
-        return False, None
+        try:
+            value = self._store[key]
+        except KeyError:
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        self._store.move_to_end(key)
+        return True, value
 
     def put(self, key, value) -> None:
-        if len(self._store) >= self.cap:
-            self._store.clear()
+        if key not in self._store and len(self._store) >= self.cap:
+            self._store.popitem(last=False)  # least recently used
+            self.evictions += 1
         self._store[key] = value
+        self._store.move_to_end(key)
 
     def clear(self) -> None:
-        self.hits = self.misses = 0
+        self.hits = self.misses = self.evictions = 0
         self._store.clear()
 
     def stats(self) -> dict:
@@ -95,25 +110,30 @@ class CacheRegion:
             "hits": self.hits,
             "misses": self.misses,
             "entries": len(self._store),
+            "evictions": self.evictions,
             "hit_rate": (self.hits / total) if total else 0.0,
         }
 
 
 class AnalysisCache:
-    """The full cache: analysis regions + fingerprint memo + pass memo."""
+    """The full cache: analysis regions + fingerprint memo + pass memo.
+
+    ``region_cap`` bounds every region (LRU, see :class:`CacheRegion`);
+    the default suits batch derivations — a long-running service can
+    pass something smaller and watch ``stats()[region]["evictions"]``.
+    """
 
     REGIONS = ("dependence", "direction", "feasibility", "sections", "passes")
 
-    def __init__(self) -> None:
-        self.dependence = CacheRegion("dependence")
-        self.direction = CacheRegion("direction")
-        self.feasibility = CacheRegion("feasibility")
-        self.sections = CacheRegion("sections")
-        self.passes = CacheRegion("passes")
+    def __init__(self, region_cap: Optional[int] = None) -> None:
+        cap = region_cap if region_cap is not None else _REGION_CAP
+        self.dependence = CacheRegion("dependence", cap)
+        self.direction = CacheRegion("direction", cap)
+        self.feasibility = CacheRegion("feasibility", cap)
+        self.sections = CacheRegion("sections", cap)
+        self.passes = CacheRegion("passes", cap)
         # id -> (node, fingerprint); the node reference keeps the id valid.
         self._fp_memo: dict[int, tuple[object, str]] = {}
-        # roots pinned alive while their id keys dependence entries
-        self._pinned_roots: dict[int, object] = {}
 
     # ---- fingerprint memo -------------------------------------------------
     def fingerprint(self, node) -> str:
@@ -143,13 +163,15 @@ class AnalysisCache:
 
     # ---- analysis hooks ---------------------------------------------------
     def _dep_hook(self, root, ctx, include_input, compute):
+        # the entry carries the root so the id() key cannot be recycled
+        # while the entry lives — and the pin is dropped with the entry
+        # when the LRU bound evicts it
         key = (id(root), self._ctx_key(ctx), include_input)
-        hit, value = self.dependence.peek(key)
+        hit, entry = self.dependence.peek(key)
         if hit:
-            return list(value)
+            return list(entry[1])
         value = compute(root, ctx, include_input)
-        self._pinned_roots[id(root)] = root
-        self.dependence.put(key, value)
+        self.dependence.put(key, (root, value))
         return list(value)
 
     def _feasible_hook(self, constraints, compute):
@@ -215,7 +237,6 @@ class AnalysisCache:
         for name in self.REGIONS:
             getattr(self, name).clear()
         self._fp_memo.clear()
-        self._pinned_roots.clear()
 
 
 GLOBAL_CACHE = AnalysisCache()

@@ -1,0 +1,203 @@
+"""Batch front end: run job specs, emit a ``repro.serve/1`` report.
+
+.. code-block:: text
+
+    {
+      "schema": "repro.serve/1",
+      "meta": {"tool": "...", ...},              # free-form strings
+      "jobs": [
+        {
+          "id": 0,
+          "label": "derive:lu_nopivot",
+          "kind": "derive",
+          "workload": "lu_nopivot",
+          "digest": "9f31...",                   # store/dedup address
+          "status": "hit|computed|retried|timeout|failed|cancelled",
+          "attempts": 1,                          # 0 for a store hit
+          "submissions": 1,                       # >1 when deduplicated
+          "worker": 0 | null,
+          "wall_s": 0.71,                         # final attempt execution
+          "queue_wait_s": 0.002,
+          "stored": true,                         # published to the store
+          "fingerprint": "ba77..." | null,        # derived IR, if any
+          "error": null | "message",
+          "result": {...} | null                  # job value, "ir" elided
+        }, ...
+      ],
+      "summary": {"hit": 0, "computed": 3, ..., "total": 3, "ok": 3},
+      "pool": {"workers", "max_retries", "backoff_s", "respawns",
+               "coalesced", "busy_s", "utilization", "elapsed_s"},
+      "store": {"enabled", "root", "hits", "misses", "writes",
+                "corrupt", "entries", "bytes"} ,
+      "elapsed_s": 1.23
+    }
+
+One row per *deduplicated* job: N identical submissions appear as a
+single row with ``submissions: N`` — the honest unit for a service
+whose whole point is never computing the same thing twice.
+``validate_report`` returns a list of problems (empty = valid), the
+idiom shared with ``repro.obs``/``repro.check``; the ``serve-smoke``
+CI job runs it over a real batch.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Optional, Sequence
+
+from repro.obs import core as _obs
+from repro.serve.jobs import JobSpec, result_fingerprint
+from repro.serve.pool import STATUSES, JobOutcome, WorkerPool
+from repro.serve.store import ArtifactStore
+
+SCHEMA = "repro.serve/1"
+
+
+def run_batch(
+    specs: Sequence[JobSpec],
+    workers: int = 2,
+    store: Optional[ArtifactStore] = None,
+    max_retries: int = 2,
+    backoff_s: float = 0.05,
+    meta: Optional[dict] = None,
+    include_results: bool = True,
+) -> dict:
+    """Execute ``specs`` on a fresh pool and return the report dict.
+
+    ``store=None`` disables persistence entirely; pass an
+    :class:`ArtifactStore` (default root ``.repro-cache/``) to get
+    cross-process reuse.
+    """
+    t0 = time.perf_counter()
+    with WorkerPool(
+        workers=workers, store=store, max_retries=max_retries, backoff_s=backoff_s
+    ) as pool:
+        pool.run(list(specs))
+        outcomes = [j.outcome for j in pool._jobs]
+        elapsed = time.perf_counter() - t0
+        report = build_report(
+            outcomes,
+            pool=pool,
+            store=store,
+            elapsed_s=elapsed,
+            meta=meta,
+            include_results=include_results,
+        )
+    util = report["pool"]["utilization"]
+    if util is not None:
+        _obs.observe("serve.pool.utilization", util)
+    return report
+
+
+def build_report(
+    outcomes: Sequence[JobOutcome],
+    pool: Optional[WorkerPool] = None,
+    store: Optional[ArtifactStore] = None,
+    elapsed_s: float = 0.0,
+    meta: Optional[dict] = None,
+    include_results: bool = True,
+) -> dict:
+    summary = {s: 0 for s in STATUSES}
+    jobs = []
+    for out in outcomes:
+        summary[out.status] += 1
+        result = None
+        if include_results and isinstance(out.value, dict):
+            result = {k: v for k, v in out.value.items() if k != "ir"}
+        jobs.append(
+            {
+                "id": out.job_id,
+                "label": out.spec.display,
+                "kind": out.spec.kind,
+                "workload": out.spec.workload,
+                "digest": out.digest,
+                "status": out.status,
+                "attempts": out.attempts,
+                "submissions": out.submissions,
+                "worker": out.worker,
+                "wall_s": round(out.wall_s, 4),
+                "queue_wait_s": round(out.queue_wait_s, 4),
+                "stored": out.stored,
+                "fingerprint": result_fingerprint(out.value),
+                "error": out.error,
+                "result": result,
+            }
+        )
+    summary["total"] = len(jobs)
+    summary["ok"] = sum(summary[s] for s in ("hit", "computed", "retried"))
+    pool_stats = pool.stats() if pool is not None else {}
+    workers = pool_stats.get("workers", 0)
+    pool_stats["elapsed_s"] = round(elapsed_s, 4)
+    pool_stats["utilization"] = (
+        round(pool_stats.get("busy_s", 0.0) / (workers * elapsed_s), 4)
+        if workers and elapsed_s > 0
+        else None
+    )
+    return {
+        "schema": SCHEMA,
+        "meta": {k: str(v) for k, v in (meta or {}).items()},
+        "jobs": jobs,
+        "summary": summary,
+        "pool": pool_stats,
+        "store": _store_stats(store, outcomes),
+        "elapsed_s": round(elapsed_s, 4),
+    }
+
+
+def _store_stats(
+    store: Optional[ArtifactStore], outcomes: Sequence[JobOutcome]
+) -> dict:
+    if store is None:
+        return {"enabled": False}
+    stats = store.stats()
+    # workers publish through their own store instances; fold their
+    # successful writes into the parent's counter for the report
+    stats["writes"] += sum(1 for out in outcomes if out.stored)
+    return {"enabled": True, **stats}
+
+
+def validate_report(doc: dict) -> list[str]:
+    """Problems with a ``repro.serve/1`` document (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    for key in ("meta", "summary", "pool", "store"):
+        if not isinstance(doc.get(key), dict):
+            errors.append(f"missing or non-object field {key!r}")
+    if not isinstance(doc.get("jobs"), list):
+        errors.append("missing or non-list field 'jobs'")
+        return errors
+    for i, job in enumerate(doc["jobs"]):
+        if not isinstance(job, dict):
+            errors.append(f"jobs[{i}] is not an object")
+            continue
+        for field in ("id", "kind", "status", "attempts", "wall_s"):
+            if field not in job:
+                errors.append(f"jobs[{i}] missing field {field!r}")
+        if job.get("status") not in STATUSES:
+            errors.append(f"jobs[{i}] has unknown status {job.get('status')!r}")
+        if job.get("status") in ("timeout", "failed") and not job.get("error"):
+            errors.append(f"jobs[{i}] is {job['status']} but carries no error")
+    if isinstance(doc.get("summary"), dict):
+        total = doc["summary"].get("total")
+        if total != len(doc["jobs"]):
+            errors.append(
+                f"summary.total is {total!r}, want {len(doc['jobs'])}"
+            )
+        for status in STATUSES:
+            want = sum(1 for j in doc["jobs"] if j.get("status") == status)
+            if doc["summary"].get(status) != want:
+                errors.append(
+                    f"summary[{status!r}] is {doc['summary'].get(status)!r}, "
+                    f"want {want}"
+                )
+    return errors
+
+
+def write_report(path: str, doc: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")

@@ -1,0 +1,249 @@
+"""Persistent content-addressed artifact store under ``.repro-cache/``.
+
+An *artifact* is the JSON-serializable outcome of a job (a derived
+procedure's pretty text and fingerprint, a check summary, bench
+timings).  Entries are addressed by a **key**: a nested tuple built by
+:func:`repro.serve.jobs.job_key` from ``(input IR fingerprint, pass
+recipe + options, context facts, store schema version, job kind)``.
+The key is canonicalized (:func:`canonical_key`) and hashed to a sha256
+digest, which names the file: ``objects/<aa>/<digest>.art``.
+
+Durability discipline — the part that must not be fudged:
+
+- **atomic publish**: writers serialize into a temp file in the same
+  directory and ``os.replace`` it into place, so readers never observe
+  a torn entry and concurrent writers of the same key are last-writer-
+  wins with either writer's bytes valid;
+- **verified reads**: every entry carries a magic header and a sha256
+  checksum of its payload; a short, truncated, or garbage file fails
+  verification and is treated as a *miss* (and unlinked best-effort) —
+  corruption can cost a recomputation, never a crash;
+- **schema versioning**: :data:`SCHEMA_VERSION` participates in the
+  digest, so bumping it orphans (invalidates) every old entry without
+  touching the files; ``gc`` reaps them by age/count later.
+
+``stats()`` reports in-process counters (hits/misses/writes/corrupt)
+plus an on-disk scan (entries, bytes); ``gc()`` prunes by entry count
+(oldest first) and/or age.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Optional
+
+#: bump to invalidate every existing artifact (participates in the digest)
+SCHEMA_VERSION = 1
+
+#: default store root; override with the ``REPRO_CACHE_DIR`` environment
+#: variable or the ``root`` constructor argument
+DEFAULT_ROOT = ".repro-cache"
+
+_MAGIC = b"repro.serve.art/1\n"
+_SUFFIX = ".art"
+
+
+def canonical_key(key: Any) -> str:
+    """A deterministic text form of a nested key structure.
+
+    Dicts are sorted by key, lists and tuples flattened alike; scalars
+    use ``repr``.  Two keys canonicalize equally iff they address the
+    same artifact.
+    """
+    return repr(_canon(key))
+
+
+def _canon(obj: Any):
+    if isinstance(obj, dict):
+        return ("d",) + tuple((str(k), _canon(obj[k])) for k in sorted(obj, key=str))
+    if isinstance(obj, (list, tuple)):
+        return ("t",) + tuple(_canon(v) for v in obj)
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if isinstance(obj, Fraction):  # Affine coefficients in context facts
+        return ("q", obj.numerator, obj.denominator)
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} in a store key")
+
+
+class ArtifactStore:
+    """One on-disk store rooted at ``root`` (``.repro-cache/`` by default)."""
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        schema_version: int = SCHEMA_VERSION,
+    ) -> None:
+        self.root = Path(
+            root
+            if root is not None
+            else os.environ.get("REPRO_CACHE_DIR", DEFAULT_ROOT)
+        )
+        self.schema_version = schema_version
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.corrupt = 0
+
+    # ---- addressing -------------------------------------------------------
+    def digest(self, key: Any) -> str:
+        """sha256 hex name of ``key`` (schema version included)."""
+        text = f"v{self.schema_version}|{canonical_key(key)}"
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def path_for(self, key: Any) -> Path:
+        d = self.digest(key)
+        return self.root / "objects" / d[:2] / (d + _SUFFIX)
+
+    # ---- read/write -------------------------------------------------------
+    def get(self, key: Any) -> tuple[bool, Any]:
+        """``(hit, value)``; any unreadable or corrupted entry is a miss."""
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return False, None
+        value = self._decode(blob, key)
+        if value is _CORRUPT:
+            self.corrupt += 1
+            self.misses += 1
+            try:  # reap the bad entry so it cannot fail again
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: Any, value: Any) -> Path:
+        """Atomically publish ``value`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = pickle.dumps(
+            {
+                "schema_version": self.schema_version,
+                "key": canonical_key(key),
+                "created_s": time.time(),
+                "value": value,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        blob = _MAGIC + hashlib.sha256(body).hexdigest().encode("ascii") + b"\n" + body
+        fd, tmp = tempfile.mkstemp(
+            prefix=".tmp-", suffix=_SUFFIX, dir=str(path.parent)
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)  # atomic: readers see old bytes or new
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    def _decode(self, blob: bytes, key: Any):
+        header_len = len(_MAGIC) + 64 + 1
+        if len(blob) < header_len or not blob.startswith(_MAGIC):
+            return _CORRUPT
+        want = blob[len(_MAGIC) : len(_MAGIC) + 64]
+        body = blob[header_len:]
+        if hashlib.sha256(body).hexdigest().encode("ascii") != want:
+            return _CORRUPT
+        try:
+            doc = pickle.loads(body)
+            if (
+                doc["schema_version"] != self.schema_version
+                or doc["key"] != canonical_key(key)
+            ):
+                return _CORRUPT
+            return doc["value"]
+        except Exception:
+            return _CORRUPT
+
+    # ---- maintenance ------------------------------------------------------
+    def _entries(self) -> list[tuple[float, int, Path]]:
+        """(mtime, size, path) for every object file, oldest first."""
+        out = []
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return out
+        for sub in objects.iterdir():
+            if not sub.is_dir():
+                continue
+            for p in sub.iterdir():
+                if p.name.startswith(".tmp-") or p.suffix != _SUFFIX:
+                    continue
+                try:
+                    st = p.stat()
+                except OSError:
+                    continue
+                out.append((st.st_mtime, st.st_size, p))
+        out.sort()
+        return out
+
+    def stats(self) -> dict:
+        entries = self._entries()
+        return {
+            "root": str(self.root),
+            "schema_version": self.schema_version,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _ in entries),
+        }
+
+    def gc(
+        self,
+        max_entries: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+    ) -> dict:
+        """Prune by age and/or count (oldest first); returns a summary."""
+        entries = self._entries()
+        doomed: list[Path] = []
+        if max_age_s is not None:
+            cutoff = time.time() - max_age_s
+            doomed.extend(p for mtime, _, p in entries if mtime < cutoff)
+        if max_entries is not None and len(entries) > max_entries:
+            keep_from = len(entries) - max_entries
+            doomed.extend(p for _, _, p in entries[:keep_from])
+        removed = 0
+        for p in dict.fromkeys(doomed):  # de-dup, preserve order
+            try:
+                p.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return {
+            "removed": removed,
+            "kept": len(entries) - removed,
+        }
+
+    def clear(self) -> int:
+        """Remove every entry (counters untouched); returns count removed."""
+        removed = 0
+        for _, _, p in self._entries():
+            try:
+                p.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+class _Corrupt:
+    """Sentinel: decode failed (distinct from a stored None)."""
+
+
+_CORRUPT = _Corrupt()

@@ -153,5 +153,46 @@ class TestInstallation:
                 "hits": 0,
                 "misses": 0,
                 "entries": 0,
+                "evictions": 0,
                 "hit_rate": 0.0,
             }, region
+
+
+class TestLRUBound:
+    def test_region_never_exceeds_cap_and_counts_evictions(self):
+        cache = AnalysisCache(region_cap=4)
+        for i in range(10):
+            cache.feasibility.put(("k", i), i)
+        assert len(cache.feasibility) == 4
+        assert cache.feasibility.evictions == 6
+        assert cache.feasibility.stats()["evictions"] == 6
+
+    def test_eviction_order_is_least_recently_used(self):
+        cache = AnalysisCache(region_cap=2)
+        region = cache.feasibility
+        region.put("a", 1)
+        region.put("b", 2)
+        assert region.peek("a") == (True, 1)  # refresh "a": "b" is now LRU
+        region.put("c", 3)
+        assert region.peek("b") == (False, None)
+        assert region.peek("a") == (True, 1)
+        assert region.peek("c") == (True, 3)
+
+    def test_rewriting_an_existing_key_does_not_evict(self):
+        region = AnalysisCache(region_cap=2).feasibility
+        region.put("a", 1)
+        region.put("b", 2)
+        region.put("a", 10)
+        assert region.evictions == 0
+        assert len(region) == 2
+
+    def test_bounded_dependence_region_still_correct(self):
+        # the dependence entry pins its root; eviction under a tiny cap
+        # must only cost recomputation, never correctness
+        cache = AnalysisCache(region_cap=1)
+        p = lu_point_ir()
+        with installed(cache):
+            first = all_dependences(p.body[0], lu_ctx())
+            again = all_dependences(p.body[0], lu_ctx())
+        key = lambda deps: [(d.kind, d.direction) for d in deps]
+        assert key(first) == key(again)

@@ -1,0 +1,88 @@
+"""``python -m repro.pipeline.bench --jobs N``: the pool-backed bench mode.
+
+The workload set is monkeypatched down to the two cheapest entries so
+the test exercises the full path — derive jobs through the pool, store
+publish, warm-store short-circuit, byte-identical derived IR — in well
+under a second of real derivation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.pipeline import bench
+
+
+FAST = (
+    ("matmul", "matmul", None, False),
+    ("aconv", "aconv", None, False),
+)
+
+
+@pytest.fixture(autouse=True)
+def fast_workloads(monkeypatch):
+    monkeypatch.setattr(bench, "BENCH_WORKLOADS", FAST)
+
+
+def test_cold_run_computes_and_publishes(tmp_path):
+    doc = bench.run_bench_pool(2, store_dir=str(tmp_path / "cache"))
+    assert doc["mode"] == "pool"
+    assert doc["jobs"] == 2
+    assert set(doc["workloads"]) == {"matmul", "aconv"}
+    for data in doc["workloads"].values():
+        assert data["status"] == "computed"
+        assert data["pass_executions"] > 0
+        assert data["fingerprint"]
+        assert data["ir_sha256"]
+    assert doc["store"]["entries"] == 2
+
+
+def test_warm_store_short_circuits_with_identical_ir(tmp_path):
+    root = str(tmp_path / "cache")
+    cold = bench.run_bench_pool(1, store_dir=root)
+    warm = bench.run_bench_pool(1, store_dir=root)  # fresh pool, warm disk
+    for label in ("matmul", "aconv"):
+        assert warm["workloads"][label]["status"] == "hit"
+        # a hit replays the artifact: nothing executed this run...
+        assert warm["workloads"][label]["pass_executions"] == 0
+        # ...and the replayed IR is byte-identical to the cold derivation
+        assert (
+            warm["workloads"][label]["ir_sha256"]
+            == cold["workloads"][label]["ir_sha256"]
+        )
+        assert (
+            warm["workloads"][label]["fingerprint"]
+            == cold["workloads"][label]["fingerprint"]
+        )
+    assert warm["store"]["hits"] == 2
+
+
+def test_no_store_mode_reports_store_disabled(tmp_path):
+    doc = bench.run_bench_pool(1, store_dir=str(tmp_path), use_store=False)
+    assert doc["store"] == {"enabled": False}
+    assert all(d["status"] == "computed" for d in doc["workloads"].values())
+
+
+def test_main_pool_mode_writes_the_artifact(tmp_path, capsys):
+    path = tmp_path / "BENCH_pipeline.json"
+    rc = bench.main([str(path), "--jobs", "2",
+                     "--store-dir", str(tmp_path / "cache")])
+    assert rc == 0
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == "repro.pipeline.bench/1"
+    assert doc["mode"] == "pool"
+    out = capsys.readouterr().out
+    assert "2 job(s) on 2 worker(s)" in out
+
+
+def test_main_classic_mode_untouched_by_the_flag_default(tmp_path):
+    # --jobs 0 (default) must still produce the in-process cold/warm shape
+    path = tmp_path / "BENCH_pipeline.json"
+    assert bench.main([str(path)]) == 0
+    doc = json.loads(path.read_text())
+    assert doc["mode"] == "inprocess"
+    for data in doc["workloads"].values():
+        assert {"cold", "warm", "warm_speedup"} <= set(data)
+    assert "evictions" in doc["cache"]["passes"]

@@ -1,0 +1,125 @@
+"""JobSpec validation, store keys, and the worker-side executor."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.serve.jobs import JobSpec, execute_job, job_key, result_fingerprint
+from repro.serve.store import ArtifactStore
+
+
+class TestJobSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PipelineError, match="unknown job kind"):
+            JobSpec(kind="transmogrify")
+
+    def test_passes_coerced_to_tuple(self):
+        spec = JobSpec(workload="lu_nopivot", passes=["split", "block"])
+        assert spec.passes == ("split", "block")
+
+    def test_display_prefers_label(self):
+        assert JobSpec(workload="conv", label="smoke").display == "smoke"
+        assert (
+            JobSpec(workload="conv", passes=("distribute",)).display
+            == "derive:conv:distribute"
+        )
+
+    def test_dict_roundtrip(self):
+        spec = JobSpec(
+            kind="execute", workload="givens", passes=("givens_opt",),
+            options={"unroll": 2}, check=True, timeout_s=60.0, label="x",
+        )
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_accepts_comma_passes(self):
+        spec = JobSpec.from_dict({"workload": "lu_nopivot", "passes": "split, block"})
+        assert spec.passes == ("split", "block")
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(PipelineError, match="unknown job spec field"):
+            JobSpec.from_dict({"workload": "conv", "retries": 3})
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(PipelineError, match="must be an object"):
+            JobSpec.from_dict(["conv"])
+
+
+class TestJobKey:
+    def digest(self, spec: JobSpec) -> str:
+        return ArtifactStore(root="").digest(job_key(spec))
+
+    def test_identical_specs_share_a_key(self):
+        a = JobSpec(workload="matmul")
+        b = JobSpec(workload="matmul", label="other-label")  # label is cosmetic
+        assert job_key(a) == job_key(b)
+        assert self.digest(a) == self.digest(b)
+
+    def test_key_varies_with_recipe_check_and_kind(self):
+        base = JobSpec(workload="lu_nopivot")
+        assert job_key(base) != job_key(JobSpec(workload="lu_nopivot", passes=("split",)))
+        assert job_key(base) != job_key(JobSpec(workload="lu_nopivot", check=True))
+        assert job_key(base) != job_key(JobSpec(kind="execute", workload="lu_nopivot"))
+
+    def test_probe_keys_on_options_only(self):
+        a = JobSpec(kind="probe", options={"action": "ok", "value": 1})
+        b = JobSpec(kind="probe", options={"value": 1, "action": "ok"})
+        c = JobSpec(kind="probe", options={"action": "ok", "value": 2})
+        assert job_key(a) == job_key(b)
+        assert job_key(a) != job_key(c)
+
+    def test_non_scalar_option_rejected(self):
+        spec = JobSpec(kind="probe", options={"callback": {"nested": True}})
+        with pytest.raises(PipelineError, match="JSON scalars"):
+            job_key(spec)
+
+    def test_unknown_workload_raises_terminal_error(self):
+        with pytest.raises(PipelineError):
+            job_key(JobSpec(workload="no_such_workload"))
+
+
+class TestExecutor:
+    def test_derive_returns_the_serializable_summary(self):
+        value = execute_job(JobSpec(workload="matmul"))
+        assert value["workload"] == "matmul"
+        assert value["pass_executions"] == len(value["passes"]) > 0
+        assert isinstance(value["fingerprint"], str)
+        assert "DO" in value["ir"]
+        assert value["elapsed_s"] >= 0
+        assert result_fingerprint(value) == value["fingerprint"]
+
+    def test_derive_is_deterministic_across_calls(self):
+        a = execute_job(JobSpec(workload="matmul"))
+        b = execute_job(JobSpec(workload="matmul"))
+        assert a["fingerprint"] == b["fingerprint"]
+        assert a["ir"] == b["ir"]
+
+    def test_probe_ok(self):
+        value = execute_job(JobSpec(kind="probe", options={"action": "ok"}))
+        assert value["pid"] == os.getpid()
+
+    def test_probe_raise_is_retryable(self):
+        with pytest.raises(RuntimeError, match="probe raised"):
+            execute_job(JobSpec(kind="probe", options={"action": "raise"}))
+
+    def test_probe_terminal_is_a_repro_error(self):
+        with pytest.raises(PipelineError, match="probe terminal"):
+            execute_job(JobSpec(kind="probe", options={"action": "terminal"}))
+
+    def test_probe_unknown_action_rejected(self):
+        with pytest.raises(PipelineError, match="unknown probe action"):
+            execute_job(JobSpec(kind="probe", options={"action": "lurk"}))
+
+    def test_probe_flaky_fails_then_recovers(self, tmp_path):
+        flag = str(tmp_path / "flag")
+        spec = JobSpec(kind="probe", options={"action": "flaky", "flag_file": flag})
+        with pytest.raises(RuntimeError, match="flag planted"):
+            execute_job(spec)
+        assert execute_job(spec)["probe"] == "recovered"
+
+    def test_result_fingerprint_tolerates_junk(self):
+        assert result_fingerprint(None) is None
+        assert result_fingerprint({"fingerprint": 42}) is None
+        assert result_fingerprint({}) is None
