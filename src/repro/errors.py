@@ -44,6 +44,12 @@ class MachineError(ReproError):
     """Invalid machine/cache configuration."""
 
 
+class MatrixError(ReproError):
+    """An experiment grid (:mod:`repro.matrix`) is malformed: unknown
+    factor, empty or duplicate levels, a bad results database, or a
+    report request naming an absent factor."""
+
+
 class PipelineError(ReproError):
     """A pass pipeline could not be assembled or run (unknown pass or
     algorithm, bad option, infeasible pass under ``on_infeasible="raise"``)."""

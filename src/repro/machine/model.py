@@ -95,6 +95,45 @@ RS6000_540 = MachineModel(
 )
 
 
+def machine_from_factors(
+    cache_kb: float = 4,
+    line_bytes: int = 32,
+    assoc: int = 2,
+    tlb_entries: int = 16,
+    page_bytes: int = 256,
+    base: MachineModel = RS6000_540,
+) -> MachineModel:
+    """A machine built from experiment-grid factor values.
+
+    This is the geometry constructor :mod:`repro.matrix` cells use: every
+    knob the paper's cache story depends on (capacity, line size,
+    associativity, TLB reach) is a grid factor, and the cost model is
+    inherited from ``base`` so modeled times across cells differ only by
+    geometry.  ``assoc=0`` is fully associative; ``tlb_entries=0`` drops
+    the TLB entirely.  Validation is :class:`CacheConfig`'s
+    (:class:`~repro.errors.MachineError` on a non-power-of-two size, a
+    line larger than the cache, an associativity that does not divide the
+    line count) — a deterministic verdict, so a mis-specified cell fails
+    without retries.
+    """
+    size_bytes = int(round(cache_kb * 1024))
+    cache = CacheConfig(
+        size_bytes=size_bytes, line_bytes=int(line_bytes), assoc=int(assoc)
+    )
+    tlb = None
+    if int(tlb_entries):
+        tlb = CacheConfig(
+            size_bytes=int(tlb_entries) * int(page_bytes),
+            line_bytes=int(page_bytes),
+            assoc=0,
+        )
+    ways = "fa" if int(assoc) == 0 else f"{int(assoc)}w"
+    name = f"grid/{cache_kb:g}KB-{int(line_bytes)}B-{ways}"
+    if tlb is not None:
+        name += f"-tlb{int(tlb_entries)}x{int(page_bytes)}"
+    return replace(base, name=name, cache=cache, tlb=tlb)
+
+
 def scaled_machine(scale: int, base: MachineModel = RS6000_540, min_line: int = 32) -> MachineModel:
     """Shrink ``base`` for problems scaled down by ``scale`` per dimension.
 

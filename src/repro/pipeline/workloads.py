@@ -32,6 +32,12 @@ class Workload:
     verify_sizes: dict = field(default_factory=dict)
     exact: bool = True
     unroll: int = 4
+    #: (problem size n, blocking factor b) -> concrete symbol bindings;
+    #: must reproduce ``verify_sizes`` exactly at ``(None, None)`` so
+    #: default-path callers stay byte-identical.  The experiment grid
+    #: (:mod:`repro.matrix`) varies n and b through this factory instead
+    #: of editing IR or size dicts ad hoc.
+    size_factory: Optional[Callable[[Optional[int], Optional[int]], dict]] = None
 
     def resolve_specs(
         self,
@@ -54,6 +60,33 @@ class Workload:
 
     def context(self, unroll: Optional[int] = None) -> Assumptions:
         return self.assumptions(unroll if unroll is not None else self.unroll)
+
+    def sizes_for(
+        self, n: Optional[int] = None, b: Optional[int] = None
+    ) -> dict:
+        """Concrete symbol bindings for problem size ``n`` and blocking
+        factor ``b``; both default to today's values (``verify_sizes``).
+
+        Grid cells bind sizes through this method, so varying n or b
+        never requires touching the (symbolic) IR: the builder output is
+        identical, only the runtime binding moves.
+        """
+        if n is None and b is None:
+            return dict(self.verify_sizes)
+        if self.size_factory is None:
+            raise PipelineError(
+                f"workload {self.name!r} has no size factory; "
+                "cannot vary problem size or blocking factor"
+            )
+        if n is not None and n < 4:
+            raise PipelineError(
+                f"workload {self.name!r}: problem size n must be >= 4, got {n}"
+            )
+        if b is not None and b < 1:
+            raise PipelineError(
+                f"workload {self.name!r}: blocking factor b must be >= 1, got {b}"
+            )
+        return self.size_factory(n, b)
 
 
 _REGISTRY: dict[str, Workload] = {}
@@ -117,6 +150,36 @@ def _build_matmul() -> Procedure:
     return matmul_guarded_ir()
 
 
+# Size factories: map (n, b) to each workload's symbol vocabulary.  A
+# None argument falls back to the verify_sizes value, so a factory at
+# (None, None) reproduces verify_sizes exactly (asserted in tests).
+
+def _lu_sizes(n, b) -> dict:
+    return {"N": 13 if n is None else n, "KS": 4 if b is None else b}
+
+
+def _givens_sizes(n, b) -> dict:
+    m = 10 if n is None else n
+    return {"M": m, "N": max(2, m - 2)}
+
+
+def _conv_sizes(n, b) -> dict:
+    if n is None:
+        return {"N1": 24, "N2": 18, "N3": 20, "DT": 0.5}
+    # keep the registered assumptions honest: N2 in [unroll, N1-1],
+    # N3 <= N1, at the verify-size proportions (3/4 and 5/6 of N1)
+    return {
+        "N1": n,
+        "N2": min(n - 1, max(4, (3 * n) // 4)),
+        "N3": min(n, max(1, (5 * n) // 6)),
+        "DT": 0.5,
+    }
+
+
+def _matmul_sizes(n, b) -> dict:
+    return {"N": 12 if n is None else n}
+
+
 def _conv_assumptions(u: int) -> Assumptions:
     return (
         Assumptions()
@@ -144,6 +207,7 @@ register(
         default_passes=("block",),
         verify_sizes={"N": 13, "KS": 4},
         exact=True,
+        size_factory=_lu_sizes,
     )
 )
 
@@ -160,6 +224,7 @@ register(
         },
         default_passes=("block",),
         verify_sizes={"N": 13, "KS": 4},
+        size_factory=_lu_sizes,
         # commuting column updates past row interchanges reassociates
         exact=False,
     )
@@ -177,6 +242,7 @@ register(
         default_passes=("givens_opt",),
         verify_sizes={"M": 10, "N": 8},
         exact=True,
+        size_factory=_givens_sizes,
     )
 )
 
@@ -193,6 +259,7 @@ register(
         default_passes=("split", "jam", "scalars"),
         verify_sizes={"N1": 24, "N2": 18, "N3": 20, "DT": 0.5},
         exact=True,
+        size_factory=_conv_sizes,
     )
 )
 
@@ -209,6 +276,7 @@ register(
         default_passes=("split", "jam", "scalars"),
         verify_sizes={"N1": 24, "N2": 18, "N3": 20, "DT": 0.5},
         exact=True,
+        size_factory=_conv_sizes,
     )
 )
 
@@ -225,5 +293,6 @@ register(
         default_passes=("if_inspection", "jam", "scalars"),
         verify_sizes={"N": 12},
         exact=True,
+        size_factory=_matmul_sizes,
     )
 )

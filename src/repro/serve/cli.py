@@ -53,9 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("workloads", nargs="+", metavar="WORKLOAD")
     submit.add_argument(
         "--kind",
-        choices=("derive", "check", "execute", "bench"),
+        choices=("derive", "check", "execute", "bench", "cell"),
         default="derive",
-        help="what each job does (default: derive)",
+        help="what each job does (default: derive; 'cell' runs one "
+        "experiment-matrix cell at default factors)",
     )
     submit.add_argument(
         "--passes",

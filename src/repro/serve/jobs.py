@@ -20,6 +20,12 @@ A :class:`JobSpec` names one unit of work the pool can run:
 ``table``
     build one ``bench.report`` table (the unit of
     ``python -m repro.bench.report --jobs N``);
+``cell``
+    one experiment-matrix cell (the unit of ``python -m repro.matrix
+    run``): derive the workload under the cell's recipe and simulate
+    both the point and derived variants through the cell's cache
+    geometry at its problem size / blocking factor — the row a
+    :mod:`repro.matrix` sweep persists to sqlite;
 ``probe``
     a test-only kind whose ``options["action"]`` makes it succeed,
     sleep, raise, or kill its own worker — the fault-injection tests
@@ -55,7 +61,7 @@ from repro.errors import PipelineError, ReproError
 #: exceptions that mean "same input will fail the same way" — never retried
 TERMINAL_ERRORS = (ReproError,)
 
-_KINDS = ("derive", "check", "execute", "bench", "table", "probe")
+_KINDS = ("derive", "check", "execute", "bench", "table", "cell", "probe")
 
 
 @dataclass(frozen=True)
@@ -145,6 +151,13 @@ def job_key(spec: JobSpec) -> tuple:
             spec.workload,
             tuple(sorted((str(k), _scalar(v)) for k, v in spec.options.items())),
         )
+    if spec.kind == "cell":
+        # cell keys fold the cache-geometry facts in next to the usual
+        # (fingerprint, recipe, context) triple: two cells differing only
+        # in geometry must never collide onto one cached artifact
+        from repro.matrix.cell import cell_key
+
+        return base + cell_key(spec)
     from repro.ir.fingerprint import ir_fingerprint
     from repro.pipeline.workloads import get_workload
 
@@ -368,12 +381,21 @@ def _run_probe(spec: JobSpec) -> dict:
     raise PipelineError(f"unknown probe action {action!r}")
 
 
+def _run_cell(spec: JobSpec) -> dict:
+    """One experiment-matrix cell; the heavy lifting lives in
+    :mod:`repro.matrix.cell` so the job vocabulary stays thin."""
+    from repro.matrix.cell import run_cell
+
+    return run_cell(spec.workload, spec.options)
+
+
 _EXECUTORS = {
     "derive": _run_derive,
     "check": _run_check,
     "execute": _run_execute,
     "bench": _run_bench,
     "table": _run_table,
+    "cell": _run_cell,
     "probe": _run_probe,
 }
 

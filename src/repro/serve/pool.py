@@ -246,11 +246,19 @@ class WorkerPool:
     def drain(self) -> list[JobOutcome]:
         """Block until every submitted job is resolved."""
         while self._inflight:
-            self._assign()
-            self._collect(block=True)
-            self._reap_timeouts()
-            self._reap_deaths()
+            self.poll()
         return [j.outcome for j in self._jobs]
+
+    def poll(self) -> None:
+        """One scheduler tick: assign pending jobs, collect finished
+        attempts, reap timeouts and dead workers.  Blocks for at most the
+        internal poll interval.  External drivers (``repro.matrix``)
+        interleave this with their own bookkeeping to observe outcomes as
+        they resolve instead of waiting for a full :meth:`drain`."""
+        self._assign()
+        self._collect(block=True)
+        self._reap_timeouts()
+        self._reap_deaths()
 
     def _assign(self) -> None:
         if not self._pending:

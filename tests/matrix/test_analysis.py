@@ -1,0 +1,119 @@
+"""Analysis over synthetic rows: quantiles, OAT sensitivity, best-b."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MatrixError
+from repro.matrix.analysis import (
+    best_blocking,
+    quantiles,
+    sensitivity,
+    summarize,
+    varied_factors,
+)
+
+
+def row(**kw) -> dict:
+    out = {
+        "workload": "matmul",
+        "recipe": "default",
+        "n": 16,
+        "b": 2,
+        "cache_kb": 1,
+        "line_bytes": 32,
+        "assoc": 2,
+        "tlb_entries": 16,
+        "page_bytes": 256,
+        "status": "computed",
+        "speedup": 1.0,
+        "miss_ratio": 0.1,
+        "modeled_s": 1.0,
+        "tlb_misses": 0,
+    }
+    out.update(kw)
+    return out
+
+
+#: 2x2 grid: b in {2,4} x cache_kb in {1,2}; b=4 is uniformly +0.5
+GRID = [
+    row(b=2, cache_kb=1, speedup=1.0),
+    row(b=4, cache_kb=1, speedup=1.5),
+    row(b=2, cache_kb=2, speedup=1.2),
+    row(b=4, cache_kb=2, speedup=1.7),
+]
+
+
+class TestQuantiles:
+    def test_empty_is_none(self):
+        assert quantiles([]) is None
+        assert quantiles([None]) is None
+
+    def test_interpolated_quartiles(self):
+        q = quantiles([1.0, 2.0, 3.0, 4.0])
+        assert q["count"] == 4
+        assert q["min"] == 1.0 and q["max"] == 4.0
+        assert q["p50"] == 2.5
+        assert q["p25"] == 1.75
+        assert q["mean"] == 2.5
+
+
+class TestSummarize:
+    def test_counts_and_distributions(self):
+        rows = GRID + [row(status="failed", speedup=None)]
+        s = summarize(rows)
+        assert (s["cells"], s["ok"], s["failed"]) == (5, 4, 1)
+        assert s["speedup"]["max"] == 1.7
+        assert s["by_workload"]["matmul"]["cells"] == 4
+
+    def test_varied_factors(self):
+        assert set(varied_factors(GRID)) == {"b", "cache_kb"}
+
+
+class TestSensitivity:
+    def test_oat_effects_are_controlled_comparisons(self):
+        out = sensitivity(GRID)
+        b = out["b"]
+        # two groups (one per cache_kb level), each with a 0.5 spread
+        assert b["comparisons"] == 2
+        assert b["mean_effect"] == pytest.approx(0.5)
+        assert b["max_effect"] == pytest.approx(0.5)
+        assert b["best_level"] == "4"
+        assert b["levels"]["2"] == {"mean": pytest.approx(1.1), "cells": 2}
+        assert b["levels"]["4"] == {"mean": pytest.approx(1.6), "cells": 2}
+        assert set(out) == {"b", "cache_kb"}
+
+    def test_lower_is_better_for_cost_metrics(self):
+        rows = [row(b=2, miss_ratio=0.3), row(b=4, miss_ratio=0.1)]
+        out = sensitivity(rows, metric="miss_ratio")
+        assert out["b"]["best_level"] == "4"
+
+    def test_failed_rows_are_excluded(self):
+        rows = GRID + [row(b=4, cache_kb=1, status="failed", speedup=99.0)]
+        assert sensitivity(rows)["b"]["levels"]["4"]["cells"] == 2
+
+    def test_unknown_metric_and_factor_raise(self):
+        with pytest.raises(MatrixError, match="unknown metric"):
+            sensitivity(GRID, metric="joy")
+        with pytest.raises(MatrixError, match="unknown factor"):
+            sensitivity(GRID, factors=["joy"])
+
+    def test_constant_factor_raises_with_varied_list(self):
+        with pytest.raises(MatrixError, match="does not vary"):
+            sensitivity(GRID, factors=["n"])
+
+
+class TestBestBlocking:
+    def test_best_b_per_workload(self):
+        rows = GRID + [
+            row(workload="conv", b=2, speedup=2.0),
+            row(workload="conv", b=4, speedup=1.1),
+        ]
+        out = best_blocking(rows)
+        assert [(e["workload"], e["best_b"]) for e in out] == [
+            ("conv", 2), ("matmul", 4)
+        ]
+        assert out[1]["per_b"]["4"]["mean"] == pytest.approx(1.6)
+
+    def test_rows_without_b_are_omitted(self):
+        assert best_blocking([row(b=None)]) == []

@@ -1,0 +1,122 @@
+"""MatrixDB: schema, durability semantics, queries."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.errors import MatrixError
+from repro.matrix.db import ROW_COLUMNS, MatrixDB
+
+
+def row(digest: str, **kw) -> dict:
+    out = {
+        "digest": digest,
+        "sweep": "s0",
+        "workload": "matmul",
+        "recipe": "default",
+        "n": None,
+        "b": None,
+        "cache_kb": 1,
+        "line_bytes": 32,
+        "assoc": 2,
+        "tlb_entries": 16,
+        "page_bytes": 256,
+        "status": "computed",
+        "attempts": 1,
+        "from_store": 0,
+        "wall_s": 0.1,
+        "speedup": 1.5,
+        "created_s": 1000.0,
+    }
+    out.update(kw)
+    return out
+
+
+@pytest.fixture
+def db(tmp_path):
+    with MatrixDB(str(tmp_path / "matrix.db")) as d:
+        yield d
+
+
+class TestSchema:
+    def test_reopen_preserves_rows(self, tmp_path):
+        path = str(tmp_path / "m.db")
+        with MatrixDB(path) as d:
+            d.record_cell(row("d1"))
+        with MatrixDB(path) as d:
+            assert [r["digest"] for r in d.rows()] == ["d1"]
+
+    def test_schema_version_mismatch_is_an_error(self, tmp_path):
+        path = str(tmp_path / "m.db")
+        MatrixDB(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE meta SET value='99' WHERE key='schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(MatrixError, match="schema v99"):
+            MatrixDB(path)
+
+    def test_non_database_file_is_an_error(self, tmp_path):
+        path = tmp_path / "m.db"
+        path.write_text("not a database\n" * 100)
+        with pytest.raises(MatrixError, match="not a matrix database"):
+            MatrixDB(str(path))
+
+
+class TestCells:
+    def test_record_is_insert_or_replace(self, db):
+        db.record_cell(row("d1", status="failed", error="boom", speedup=None))
+        db.record_cell(row("d1", status="computed"))
+        rows = db.rows()
+        assert len(rows) == 1
+        assert rows[0]["status"] == "computed"
+        assert rows[0]["error"] is None
+
+    def test_unknown_keys_ignored_and_missing_null(self, db):
+        db.record_cell(row("d1", bogus="x"))
+        r = db.rows()[0]
+        assert "bogus" not in r
+        assert r["refs"] is None
+        assert set(r) == set(ROW_COLUMNS)
+
+    def test_ok_digests_excludes_failures_and_unknowns(self, db):
+        db.record_cell(row("d1", status="computed"))
+        db.record_cell(row("d2", status="hit"))
+        db.record_cell(row("d3", status="failed", error="boom"))
+        assert db.ok_digests(["d1", "d2", "d3", "d4"]) == {"d1", "d2"}
+
+    def test_rows_sorted_by_factors_none_last(self, db):
+        db.record_cell(row("dx", workload="matmul", n=24))
+        db.record_cell(row("dy", workload="conv", n=None))
+        db.record_cell(row("dz", workload="conv", n=16))
+        assert [r["digest"] for r in db.rows()] == ["dz", "dy", "dx"]
+        # digest-filtered queries sort identically
+        assert [r["digest"] for r in db.rows(["dx", "dy", "dz"])] == [
+            "dz", "dy", "dx"
+        ]
+
+    def test_counts(self, db):
+        db.record_cell(row("d1", status="computed"))
+        db.record_cell(row("d2", status="failed", error="boom"))
+        counts = db.counts(["d1", "d2", "d3"])
+        assert counts == {
+            "total": 3,
+            "done": 1,
+            "failed": 1,
+            "missing": 1,
+            "by_status": {"computed": 1, "failed": 1},
+        }
+
+
+class TestSweeps:
+    def test_sweep_upsert_keeps_created(self, db):
+        db.record_sweep("s1", '{"factors": {}}', 4)
+        first = db.sweeps()[0]
+        db.record_sweep("s1", '{"factors": {}}', 4)
+        again = db.sweeps()[0]
+        assert again["created_s"] == first["created_s"]
+        assert again["updated_s"] >= first["updated_s"]
+        assert db.sweep_spec("s1") == {"factors": {}}
+        assert db.sweep_spec("nope") is None

@@ -1,0 +1,107 @@
+"""GridSpec: construction, validation, expansion, digests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MatrixError
+from repro.matrix.grid import DEFAULTS, GridSpec, cell_label, cell_spec
+
+
+def small() -> GridSpec:
+    return GridSpec.from_factors(
+        {"workload": ["matmul"], "b": [2, 4], "cache_kb": [1, 2]}
+    )
+
+
+class TestConstruction:
+    def test_expansion_is_cartesian_with_defaults(self):
+        spec = small()
+        cells = spec.cells()
+        assert spec.n_cells() == len(cells) == 4
+        assert [(c["b"], c["cache_kb"]) for c in cells] == [
+            (2, 1), (2, 2), (4, 1), (4, 2)
+        ]
+        for cell in cells:
+            assert cell["workload"] == "matmul"
+            assert cell["recipe"] == DEFAULTS["recipe"]
+            assert cell["n"] is None
+            assert cell["line_bytes"] == DEFAULTS["line_bytes"]
+
+    def test_from_json_accepts_both_shapes(self):
+        bare = GridSpec.from_json({"workload": ["matmul"], "b": [2]})
+        wrapped = GridSpec.from_json({"factors": {"workload": ["matmul"], "b": [2]}})
+        assert bare == wrapped
+
+    def test_from_cli_parses_and_coerces(self):
+        spec = GridSpec.from_cli(["workload=matmul", "b=2,4", "cache_kb=1"])
+        assert spec.factor_map() == {
+            "workload": ["matmul"], "b": [2, 4], "cache_kb": [1]
+        }
+
+    def test_digest_is_order_insensitive_and_level_sensitive(self):
+        a = GridSpec.from_factors({"workload": ["matmul"], "b": [2, 4]})
+        b = GridSpec.from_factors({"b": [2, 4], "workload": ["matmul"]})
+        c = GridSpec.from_factors({"workload": ["matmul"], "b": [2, 8]})
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+
+    def test_varied_excludes_single_level_factors(self):
+        assert list(small().varied()) == ["b", "cache_kb"]
+
+
+class TestValidation:
+    def test_unknown_factor_rejected(self):
+        with pytest.raises(MatrixError, match="unknown factor"):
+            GridSpec.from_factors({"workload": ["matmul"], "block": [2]})
+
+    def test_workload_required(self):
+        with pytest.raises(MatrixError, match="workload"):
+            GridSpec.from_factors({"b": [2]})
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(MatrixError, match="nope"):
+            GridSpec.from_factors({"workload": ["nope"]})
+
+    def test_empty_and_duplicate_levels_rejected(self):
+        with pytest.raises(MatrixError, match="no levels"):
+            GridSpec.from_factors({"workload": ["matmul"], "b": []})
+        with pytest.raises(MatrixError, match="duplicate"):
+            GridSpec.from_factors({"workload": ["matmul"], "b": [2, 2]})
+
+    def test_unknown_pass_in_recipe_rejected(self):
+        with pytest.raises(MatrixError, match="recipe"):
+            GridSpec.from_factors(
+                {"workload": ["matmul"], "recipe": ["not_a_pass"]}
+            )
+
+    def test_bad_geometry_combination_rejected(self):
+        # 1KB with 48-byte lines: not a power of two — caught eagerly
+        with pytest.raises(MatrixError, match="geometry"):
+            GridSpec.from_factors(
+                {"workload": ["matmul"], "cache_kb": [1], "line_bytes": [48]}
+            )
+
+    def test_level_coercion_errors(self):
+        with pytest.raises(MatrixError, match="integer"):
+            GridSpec.from_factors({"workload": ["matmul"], "b": ["two"]})
+        with pytest.raises(MatrixError, match=">= 1"):
+            GridSpec.from_factors({"workload": ["matmul"], "n": [0]})
+
+    def test_bad_cli_factor_syntax(self):
+        with pytest.raises(MatrixError, match="--factor"):
+            GridSpec.from_cli(["workload"])
+        with pytest.raises(MatrixError, match="twice"):
+            GridSpec.from_cli(["workload=matmul", "workload=conv"])
+
+
+class TestCellSpec:
+    def test_cell_spec_binds_every_factor(self):
+        cell = small().cells()[0]
+        spec = cell_spec(cell, timeout_s=12.5)
+        assert spec.kind == "cell"
+        assert spec.workload == "matmul"
+        assert spec.timeout_s == 12.5
+        assert spec.options["b"] == 2
+        assert "workload" not in spec.options
+        assert spec.label == cell_label(cell)

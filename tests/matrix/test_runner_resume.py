@@ -1,0 +1,141 @@
+"""Sweep resume (satellite of the matrix subsystem): an interrupted
+sweep keeps its finished cells; the rerun recomputes nothing it has,
+and the final table is identical to an uninterrupted run.
+
+The interrupt is deterministic: ``run_grid``'s ``on_row`` hook raises
+after K rows.  Rows are recorded in autocommit mode *before* the hook
+fires, which is exactly the durability a SIGKILL would exercise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matrix.db import MatrixDB
+from repro.matrix.grid import GridSpec
+from repro.matrix.runner import cell_digests, run_grid
+from repro.serve.store import ArtifactStore
+
+#: deterministic columns a resumed table must reproduce exactly
+STABLE = (
+    "digest", "sweep", "workload", "recipe", "n", "b", "cache_kb",
+    "line_bytes", "assoc", "tlb_entries", "page_bytes", "refs", "misses",
+    "writebacks", "tlb_misses", "miss_ratio", "modeled_s", "base_refs",
+    "base_misses", "base_miss_ratio", "base_modeled_s", "speedup",
+    "fingerprint",
+)
+
+
+def grid() -> GridSpec:
+    return GridSpec.from_factors(
+        {"workload": ["matmul"], "b": [2, 4], "cache_kb": [1, 2], "n": [8]}
+    )
+
+
+def stable(rows) -> list:
+    return [{k: r[k] for k in STABLE} for r in rows]
+
+
+class Interrupt(Exception):
+    pass
+
+
+def interrupt_after(k: int):
+    seen = []
+
+    def on_row(row: dict) -> None:
+        seen.append(row)
+        if len(seen) >= k:
+            raise Interrupt(f"killed after {k} rows")
+
+    return on_row, seen
+
+
+class TestResume:
+    def test_interrupted_sweep_resumes_without_recompute(self, tmp_path):
+        spec = grid()
+        store = ArtifactStore(str(tmp_path / "store"))
+
+        # control: the same grid, uninterrupted, in its own database
+        control = run_grid(
+            spec, workers=1, store=ArtifactStore(str(tmp_path / "store2")),
+            db=MatrixDB(str(tmp_path / "control.db")),
+        )
+        assert control["run"]["computed"] == 4
+
+        # interrupted sweep: dies after 2 recorded rows
+        on_row, seen = interrupt_after(2)
+        db_path = str(tmp_path / "m.db")
+        with pytest.raises(Interrupt):
+            with MatrixDB(db_path) as db:
+                run_grid(spec, workers=1, store=store, db=db, on_row=on_row)
+        with MatrixDB(db_path) as db:
+            partial = db.rows()
+        assert len(partial) == 2
+        created = {r["digest"]: r["created_s"] for r in partial}
+
+        # resume in a fresh MatrixDB ("fresh process"): only the missing
+        # cells run; the surviving rows keep their original timestamps
+        with MatrixDB(db_path) as db:
+            doc = run_grid(spec, workers=1, store=store, db=db)
+            final = db.rows()
+        assert doc["run"]["skipped"] == 2
+        assert doc["run"]["computed"] + doc["run"]["hit"] == 2
+        for r in final:
+            if r["digest"] in created:
+                assert r["created_s"] == created[r["digest"]]
+
+        # and the final table matches the uninterrupted control run
+        # on every deterministic column except the sweep-db identity
+        drop = ("sweep",)
+        assert [
+            {k: v for k, v in r.items() if k not in drop}
+            for r in stable(final)
+        ] == [
+            {k: v for k, v in r.items() if k not in drop}
+            for r in stable(control["rows"])
+        ]
+
+    def test_rerun_recomputes_zero_cells(self, tmp_path):
+        spec = grid()
+        store = ArtifactStore(str(tmp_path / "store"))
+        db_path = str(tmp_path / "m.db")
+        with MatrixDB(db_path) as db:
+            first = run_grid(spec, workers=1, store=store, db=db)
+        assert first["run"]["computed"] == 4
+        with MatrixDB(db_path) as db:
+            second = run_grid(spec, workers=1, store=store, db=db)
+        assert second["run"]["skipped"] == 4
+        assert second["run"]["computed"] == 0
+        assert stable(first["rows"]) == stable(second["rows"])
+
+    def test_fresh_resolve_lands_as_store_hits(self, tmp_path):
+        spec = grid()
+        store = ArtifactStore(str(tmp_path / "store"))
+        with MatrixDB(str(tmp_path / "a.db")) as db:
+            run_grid(spec, workers=1, store=store, db=db)
+        # new database, warm store: every cell is a hit, nothing executes
+        with MatrixDB(str(tmp_path / "b.db")) as db:
+            doc = run_grid(spec, workers=1, store=store, db=db)
+        assert doc["run"]["hit"] == 4
+        assert doc["run"]["computed"] == 0
+        assert all(r["attempts"] == 0 for r in doc["rows"])
+        assert all(r["from_store"] == 1 for r in doc["rows"])
+
+    def test_no_store_still_sweeps_and_resumes(self, tmp_path):
+        spec = grid()
+        db_path = str(tmp_path / "m.db")
+        with MatrixDB(db_path) as db:
+            first = run_grid(spec, workers=1, store=None, db=db)
+        assert first["run"]["computed"] == 4
+        with MatrixDB(db_path) as db:
+            second = run_grid(spec, workers=1, store=None, db=db)
+        assert second["run"]["skipped"] == 4
+
+    def test_digests_match_store_addresses(self, tmp_path):
+        spec = grid()
+        store = ArtifactStore(str(tmp_path / "store"))
+        digests = set(cell_digests(spec, store))
+        with MatrixDB(str(tmp_path / "m.db")) as db:
+            doc = run_grid(spec, workers=1, store=store, db=db)
+        assert {r["digest"] for r in doc["rows"]} == digests
