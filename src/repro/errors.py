@@ -50,6 +50,12 @@ class MatrixError(ReproError):
     report request naming an absent factor."""
 
 
+class PerfError(ReproError):
+    """The run-history database (:mod:`repro.perf`) was asked something
+    it cannot answer: an unknown artifact schema, a selector matching no
+    recorded run, a malformed baseline file, or a bad database."""
+
+
 class PipelineError(ReproError):
     """A pass pipeline could not be assembled or run (unknown pass or
     algorithm, bad option, infeasible pass under ``on_infeasible="raise"``)."""

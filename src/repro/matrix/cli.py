@@ -113,7 +113,11 @@ def _sweep_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--progress", action="store_true",
                    help="print one line per cell as it resolves")
     p.add_argument("--obs", metavar="PATH",
-                   help="write a repro.obs/1 metrics profile here")
+                   help="write a repro.obs/1 metrics profile here "
+                   "(worker-side counters and spans are merged in)")
+    p.add_argument("--chrome-trace", metavar="PATH",
+                   help="write a merged multi-process Chrome trace here "
+                   "(one pid lane per worker)")
 
 
 def _report_flags(p: argparse.ArgumentParser, default_out: Optional[str] = DEFAULT_OUT) -> None:
@@ -209,10 +213,15 @@ def _run_sweep(args, grid: GridSpec) -> int:
                 on_row=_progress_printer(total) if args.progress else None,
             )
 
-        if args.obs:
+        if args.obs or args.chrome_trace:
             with obs_core.enabled() as o:
                 doc = go()
-            obs_export.write_json(args.obs, obs_export.metrics(o, meta=meta))
+            if args.obs:
+                obs_export.write_json(args.obs, obs_export.metrics(o, meta=meta))
+            if args.chrome_trace:
+                obs_export.write_json(
+                    args.chrome_trace, obs_export.chrome_trace(o)
+                )
         else:
             doc = go()
 
@@ -228,6 +237,8 @@ def _run_sweep(args, grid: GridSpec) -> int:
         print(f"report written to {args.out}")
     if args.obs:
         print(f"obs metrics written to {args.obs}")
+    if args.chrome_trace:
+        print(f"chrome trace written to {args.chrome_trace}")
     run = doc["run"]
     bad = sum(run.get(s, 0) for s in ("timeout", "failed"))
     return 1 if bad else 0

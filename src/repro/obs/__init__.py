@@ -9,8 +9,14 @@ Zero-dependency observability for the whole reproduction stack:
 - :mod:`repro.obs.attribution` — the (procedure, loop nest, statement)
   provenance the interpreter maintains, and the per-loop / per-statement /
   per-array miss and dirty-eviction breakdowns built from it.
+- :mod:`repro.obs.snapshot` — the portable (JSON) form of an observer:
+  serve workers observe their own jobs and ship snapshots back through
+  the result queues; the parent merges them (counters summed, histograms
+  folded, spans aligned onto the parent clock and tagged with a
+  per-worker lane).
 - :mod:`repro.obs.export` — Chrome trace-event JSON (loadable in
-  Perfetto) and the ``repro.obs/1`` metrics schema, with a validator.
+  Perfetto; one pid lane per merged worker) and the ``repro.obs/1``
+  metrics schema, with a validator.
 - ``python -m repro.obs`` — run any pipeline workload end to end
   (derivation + simulated execution) and render a text profile: top loops
   by misses, top passes by wall time, analysis-cache efficiency.
@@ -43,6 +49,9 @@ from repro.obs.export import (
     validate_metrics,
     write_json,
 )
+# note: the snapshot() builder itself stays in repro.obs.snapshot so the
+# submodule name is not shadowed by a same-named function attribute
+from repro.obs.snapshot import merge, restore
 
 __all__ = [
     "Histogram",
@@ -55,8 +64,10 @@ __all__ = [
     "count",
     "current",
     "enabled",
+    "merge",
     "metrics",
     "observe",
+    "restore",
     "span",
     "stmt_label",
     "validate_metrics",

@@ -38,7 +38,10 @@ class SpanEvent:
     ``ts``/``dur`` are seconds relative to the owning :class:`Obs` epoch;
     ``depth`` is the nesting level at the time the span was *open* (0 for
     roots), used by the text profile — the Chrome exporter reconstructs
-    nesting from the timestamps instead.
+    nesting from the timestamps instead.  ``lane`` names the process the
+    span was recorded in (None = this process); merged worker snapshots
+    carry their pool slot here and the Chrome exporter renders one pid
+    lane per distinct value.
     """
 
     name: str
@@ -47,18 +50,115 @@ class SpanEvent:
     dur: float
     depth: int
     args: dict = field(default_factory=dict)
+    lane: Optional[str] = None
+
+
+#: the tail quantiles every histogram tracks, as (summary key, probability)
+QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+class _P2:
+    """Single-quantile P² estimator (Jain & Chlamtac, CACM 1985).
+
+    Bounded memory: five marker heights + five marker positions once
+    initialized (the first five observations are buffered exactly).
+    """
+
+    __slots__ = ("p", "heights", "positions", "desired")
+
+    def __init__(self, p: float) -> None:
+        self.p = p
+        self.heights: list[float] = []  # <5 entries = still the exact buffer
+        self.positions: Optional[list[float]] = None
+        self.desired: Optional[list[float]] = None
+
+    def observe(self, x: float) -> None:
+        if self.positions is None:
+            self.heights.append(x)
+            if len(self.heights) == 5:
+                self.heights.sort()
+                self.positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                p = self.p
+                self.desired = [1.0, 1 + 2 * p, 1 + 4 * p, 3 + 2 * p, 5.0]
+            return
+        q, n, d = self.heights, self.positions, self.desired
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = next(i for i in range(4) if q[i] <= x < q[i + 1])
+        for i in range(k + 1, 5):
+            n[i] += 1
+        p = self.p
+        for i, inc in enumerate((0.0, p / 2, p, (1 + p) / 2, 1.0)):
+            d[i] += inc
+        for i in (1, 2, 3):
+            delta = d[i] - n[i]
+            if (delta >= 1 and n[i + 1] - n[i] > 1) or (
+                delta <= -1 and n[i - 1] - n[i] < -1
+            ):
+                sign = 1.0 if delta >= 1 else -1.0
+                candidate = q[i] + sign / (n[i + 1] - n[i - 1]) * (
+                    (n[i] - n[i - 1] + sign) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                    + (n[i + 1] - n[i] - sign) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+                )
+                if q[i - 1] < candidate < q[i + 1]:  # parabolic (P²) step
+                    q[i] = candidate
+                else:  # fall back to linear
+                    j = i + (1 if sign > 0 else -1)
+                    q[i] = q[i] + sign * (q[j] - q[i]) / (n[j] - n[i])
+                n[i] += sign
+
+    def value(self) -> float:
+        """The current estimate (exact while still buffering)."""
+        if self.positions is not None:
+            return self.heights[2]
+        if not self.heights:
+            return 0.0
+        ordered = sorted(self.heights)
+        # nearest-rank interpolation over the exact buffer
+        pos = self.p * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
+    def to_dict(self) -> dict:
+        return {
+            "p": self.p,
+            "heights": list(self.heights),
+            "positions": list(self.positions) if self.positions else None,
+            "desired": list(self.desired) if self.desired else None,
+        }
+
+    @staticmethod
+    def from_dict(doc: dict) -> "_P2":
+        est = _P2(float(doc["p"]))
+        est.heights = [float(v) for v in doc["heights"]]
+        est.positions = (
+            [float(v) for v in doc["positions"]] if doc.get("positions") else None
+        )
+        est.desired = (
+            [float(v) for v in doc["desired"]] if doc.get("desired") else None
+        )
+        return est
 
 
 class Histogram:
-    """Online summary of a value stream: count, total, min, max."""
+    """Online summary of a value stream: count, total, min, max, and
+    bounded-memory streaming quantiles (p50/p95/p99 via P² estimators —
+    exact below five observations, approximate after)."""
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "_quantiles")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._quantiles = tuple(_P2(p) for _, p in QUANTILES)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -67,19 +167,104 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        for est in self._quantiles:
+            est.observe(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, key: str) -> float:
+        """A tracked quantile by summary key (``"p50"``/``"p95"``/``"p99"``),
+        clamped into [min, max] so estimator drift never reports an
+        impossible value."""
+        for (name, _), est in zip(QUANTILES, self._quantiles):
+            if name == key:
+                if not self.count:
+                    return 0.0
+                return min(max(est.value(), self.min), self.max)
+        raise KeyError(key)
+
     def summary(self) -> dict:
-        return {
+        out = {
             "count": self.count,
             "total": self.total,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "mean": self.mean,
         }
+        for name, _ in QUANTILES:
+            out[name] = self.quantile(name)
+        return out
+
+    # ---- snapshot form -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """Full portable state (counts + quantile-estimator markers)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "quantiles": [est.to_dict() for est in self._quantiles],
+        }
+
+    @staticmethod
+    def from_dict(doc: dict) -> "Histogram":
+        h = Histogram()
+        h.count = int(doc["count"])
+        h.total = float(doc["total"])
+        h.min = float(doc["min"]) if doc.get("min") is not None else float("inf")
+        h.max = float(doc["max"]) if doc.get("max") is not None else float("-inf")
+        if doc.get("quantiles"):
+            h._quantiles = tuple(_P2.from_dict(q) for q in doc["quantiles"])
+        return h
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` in: count/total/min/max are exact; the quantile
+        markers combine by count-weighted height averaging at matched
+        probabilities (approximate, bounded memory, deterministic)."""
+        if not other.count:
+            return
+        if not self.count:
+            self.count = other.count
+            self.total = other.total
+            self.min = other.min
+            self.max = other.max
+            self._quantiles = tuple(
+                _P2.from_dict(est.to_dict()) for est in other._quantiles
+            )
+            return
+        merged = []
+        for mine, theirs in zip(self._quantiles, other._quantiles):
+            merged.append(_merge_p2(mine, theirs, self.count, other.count))
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self._quantiles = tuple(merged)
+
+
+def _merge_p2(a: _P2, b: _P2, count_a: int, count_b: int) -> _P2:
+    """Combine two P² states over disjoint streams of the given sizes."""
+    if b.positions is None:  # b's exact buffer replays losslessly into a
+        out = _P2.from_dict(a.to_dict())
+        for v in b.heights:
+            out.observe(v)
+        return out
+    if a.positions is None:
+        return _merge_p2(b, a, count_b, count_a)
+    out = _P2(a.p)
+    wa = count_a / (count_a + count_b)
+    wb = 1.0 - wa
+    out.heights = [
+        qa * wa + qb * wb for qa, qb in zip(a.heights, b.heights)
+    ]
+    out.heights[0] = min(a.heights[0], b.heights[0])
+    out.heights[4] = max(a.heights[4], b.heights[4])
+    out.heights = sorted(out.heights)
+    out.positions = [na + nb for na, nb in zip(a.positions, b.positions)]
+    out.desired = [da + db for da, db in zip(a.desired, b.desired)]
+    return out
 
 
 class Obs:

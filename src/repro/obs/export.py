@@ -15,7 +15,8 @@ Two artifact formats come out of an observed run:
       "meta": {"workload": "lu_nopivot", ...},        # free-form strings
       "counters": {"dependence.queries": 41, ...},
       "histograms": {"fm.feasible.latency_s":
-                     {"count", "total", "min", "max", "mean"}, ...},
+                     {"count", "total", "min", "max", "mean",
+                      "p50", "p95", "p99"}, ...},
       "spans": {"pass:block": {"count", "total_s", "max_s"}, ...},
       "analysis_cache": {"dependence": {"hits","misses","entries",
                                         "hit_rate"}, ...},
@@ -46,14 +47,27 @@ _ATTR_FIELDS = ("accesses", "misses", "writebacks", "tlb_misses", "writes")
 
 
 def chrome_trace(obs: Obs) -> dict:
-    """Chrome trace-event JSON for the run's spans (one process, one
-    thread; nesting is positional, from timestamps)."""
+    """Chrome trace-event JSON for the run's spans.
+
+    Spans recorded in this process (``lane is None``) render as pid 1;
+    spans merged from worker snapshots (:mod:`repro.obs.snapshot`) carry
+    a lane name and each distinct lane gets its own pid, so a pool run
+    shows one timeline row per worker process.  Nesting within a lane is
+    positional, from timestamps.
+    """
+    lanes = sorted({s.lane for s in obs.spans if s.lane is not None})
+    pid_of = {None: 1, **{lane: i + 2 for i, lane in enumerate(lanes)}}
     events: list[dict] = [
         {"name": "process_name", "ph": "M", "pid": 1, "tid": 1,
          "args": {"name": "repro"}},
         {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
          "args": {"name": "pipeline+simulator"}},
     ]
+    for lane in lanes:
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid_of[lane], "tid": 1,
+             "args": {"name": f"repro worker {lane}"}}
+        )
     for s in sorted(obs.spans, key=lambda s: s.ts):
         events.append(
             {
@@ -62,7 +76,7 @@ def chrome_trace(obs: Obs) -> dict:
                 "ph": "X",
                 "ts": round(s.ts * 1e6, 3),
                 "dur": max(round(s.dur * 1e6, 3), 0.001),
-                "pid": 1,
+                "pid": pid_of[s.lane],
                 "tid": 1,
                 "args": s.args,
             }
@@ -125,7 +139,8 @@ def validate_metrics(doc: dict) -> list[str]:
         if not isinstance(v, int):
             errors.append(f"counter {name!r} is not an integer")
     for name, h in doc["histograms"].items():
-        missing = {"count", "total", "min", "max", "mean"} - set(h)
+        missing = {"count", "total", "min", "max", "mean",
+                   "p50", "p95", "p99"} - set(h)
         if missing:
             errors.append(f"histogram {name!r} missing {sorted(missing)}")
     for name, s in doc["spans"].items():

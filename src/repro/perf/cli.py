@@ -1,0 +1,329 @@
+"""Command-line front end: ``python -m repro.perf``.
+
+Subcommands::
+
+    record ARTIFACT        flatten an artifact into the run history
+    runs                   list recorded runs
+    diff A B               per-metric deltas between two recorded runs
+    trend METRIC           one metric's timeline across runs
+    gate ARTIFACT          compare an artifact against a baseline; the
+                           exit code is the verdict
+
+Examples::
+
+    python -m repro.pipeline lu_nopivot -p split,block,jam --json t.json
+    python -m repro.perf record t.json --label main
+    # ... hack on the blocker ...
+    python -m repro.perf record t2.json --label work
+    python -m repro.perf diff main work --metrics 'pass:*'
+    python -m repro.perf trend pass:block.wall_s
+    python -m repro.perf gate t2.json --baseline main \\
+        --metrics 'pass:*.ir_size_after' --threshold 0
+
+``gate`` exit codes: 0 ok (improved / within noise), 1 regressed,
+2 usage error, 3 no baseline to compare against.  ``--baseline-file``
+gates against a committed ``repro.perf.baseline/1`` snapshot instead of
+the local database — that is what CI does, so the gate is reproducible
+on a fresh checkout with an empty cache dir.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from typing import Optional
+
+from repro.errors import PerfError, ReproError
+from repro.perf import gate as gate_mod
+from repro.perf import ingest
+from repro.perf.db import PerfDB
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="cross-run performance timeline: record artifacts, "
+        "diff runs, and gate on regressions",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record", help="flatten an artifact into the "
+                            "run history")
+    record.add_argument("artifact", metavar="ARTIFACT.json")
+    record.add_argument("--label", default="", metavar="NAME",
+                        help="name this run (labels resolve to their most "
+                        "recent run in selectors)")
+    record.add_argument("--git-sha", metavar="SHA",
+                        help="record this commit id (default: ask git)")
+    record.add_argument("--baseline-out", metavar="PATH",
+                        help="also write the flattened metrics as a "
+                        "committable repro.perf.baseline/1 file")
+    _db_flag(record)
+    _json_flag(record)
+
+    runs = sub.add_parser("runs", help="list recorded runs")
+    runs.add_argument("--limit", type=int, default=20, metavar="N",
+                      help="show the newest N runs (default 20)")
+    _db_flag(runs)
+    _json_flag(runs)
+
+    diff = sub.add_parser("diff", help="per-metric deltas between two "
+                          "recorded runs")
+    diff.add_argument("a", metavar="RUN_A",
+                      help="run selector: id, label, latest, latest~N")
+    diff.add_argument("b", metavar="RUN_B")
+    _metric_flags(diff)
+    _db_flag(diff)
+    _json_flag(diff)
+
+    trend = sub.add_parser("trend", help="one metric's timeline across runs")
+    trend.add_argument("metric", metavar="METRIC",
+                       help="exact metric name (see 'diff' output or "
+                       "--list for names)")
+    trend.add_argument("--limit", type=int, default=20, metavar="N",
+                       help="newest N points (default 20)")
+    trend.add_argument("--list", action="store_true",
+                       help="treat METRIC as a SQL LIKE pattern and list "
+                       "matching metric names instead")
+    _db_flag(trend)
+    _json_flag(trend)
+
+    g = sub.add_parser("gate", help="compare an artifact against a "
+                       "baseline; exit code is the verdict")
+    g.add_argument("artifact", metavar="ARTIFACT.json")
+    g.add_argument("--baseline", metavar="SELECTOR",
+                   help="baseline run in the database (id, label, "
+                   "latest, latest~N)")
+    g.add_argument("--baseline-file", metavar="PATH",
+                   help="baseline from a committed repro.perf.baseline/1 "
+                   "file instead of the database")
+    _metric_flags(g)
+    g.add_argument("--threshold", type=float, default=10.0, metavar="PCT",
+                   help="noise threshold in percent; increases beyond it "
+                   "regress, decreases beyond it improve (default 10; use "
+                   "0 for deterministic metrics)")
+    g.add_argument("--record", action="store_true",
+                   help="also record the artifact into the run history")
+    g.add_argument("--label", default="", metavar="NAME",
+                   help="label for --record")
+    _db_flag(g)
+    g.add_argument("--json", metavar="PATH",
+                   help="write the full repro.perf.gate/1 document here")
+    return p
+
+
+def _db_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--db", metavar="PATH",
+                   help="run-history database (default perf.db under "
+                   ".repro-cache/ or $REPRO_CACHE_DIR)")
+
+
+def _json_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--json", action="store_true", help="emit JSON")
+
+
+def _metric_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--metrics", default="*", metavar="PATTERNS",
+                   help="comma-separated glob patterns selecting tracked "
+                   "metrics (default '*'; e.g. 'pass:*.wall_s,elapsed_s')")
+
+
+def _patterns(args) -> list[str]:
+    pats = [s.strip() for s in args.metrics.split(",") if s.strip()]
+    if not pats:
+        raise PerfError("--metrics selected nothing")
+    return pats
+
+
+def _git_sha() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def _fmt_value(v: Optional[float]) -> str:
+    if v is None:
+        return "--"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return f"{v:.6g}"
+
+
+# ---- subcommands -----------------------------------------------------------
+
+
+def _cmd_record(args) -> int:
+    doc = ingest.load_artifact(args.artifact)
+    with PerfDB(args.db) as db:
+        run = db.record(
+            doc,
+            label=args.label,
+            source=args.artifact,
+            git_sha=args.git_sha or _git_sha(),
+        )
+    if args.baseline_out:
+        base = gate_mod.baseline_doc(
+            ingest.flatten(doc),
+            meta={
+                "source": args.artifact,
+                "artifact_schema": run["artifact_schema"],
+                "git_sha": run["git_sha"] or "",
+                "created_s": run["created_s"],
+            },
+        )
+        gate_mod.write_baseline(args.baseline_out, base)
+    if args.json:
+        print(json.dumps(run, indent=2))
+    else:
+        label = f" label={args.label!r}" if args.label else ""
+        print(f"recorded run #{run['id']}{label}: {run['metrics']} metrics "
+              f"from {run['artifact_schema']} ({args.artifact})")
+        if args.baseline_out:
+            print(f"baseline written to {args.baseline_out}")
+    return 0
+
+
+def _cmd_runs(args) -> int:
+    with PerfDB(args.db) as db:
+        rows = db.runs(limit=args.limit)
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    if not rows:
+        print("no recorded runs")
+        return 0
+    for r in rows:
+        when = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(r["created_s"]))
+        label = f"  [{r['label']}]" if r["label"] else ""
+        sha = f"  @{r['git_sha']}" if r["git_sha"] else ""
+        print(f"  #{r['id']:<4} {when}  {r['artifact_schema']:<24}"
+              f"{label}{sha}  {r['source']}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    patterns = _patterns(args)
+    with PerfDB(args.db) as db:
+        ra, rb = db.run(args.a), db.run(args.b)
+        ma, mb = db.metrics_for(ra["id"]), db.metrics_for(rb["id"])
+    rows = gate_mod.diff(ma, mb, patterns)
+    if args.json:
+        print(json.dumps({"a": ra["id"], "b": rb["id"], "rows": rows},
+                         indent=2))
+        return 0
+    print(f"run #{ra['id']} -> #{rb['id']} ({len(rows)} metric(s))")
+    for row in rows:
+        pct = f"{row['pct']:+8.2f}%" if row["pct"] is not None else "       --"
+        print(f"  {row['metric']:<44} {_fmt_value(row['a']):>12} -> "
+              f"{_fmt_value(row['b']):>12}  {pct}")
+    return 0
+
+
+def _cmd_trend(args) -> int:
+    with PerfDB(args.db) as db:
+        if args.list:
+            names = db.metric_names(like=args.metric)
+            if args.json:
+                print(json.dumps(names, indent=2))
+            else:
+                for name in names:
+                    print(f"  {name}")
+            return 0
+        points = db.history(args.metric, limit=args.limit)
+    if not points:
+        print(f"error: no recorded values for metric {args.metric!r} "
+              "(try --list with a LIKE pattern, e.g. 'pass:%')",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({"metric": args.metric, "points": points}, indent=2))
+        return 0
+    values = [p["value"] for p in points]
+    lo, hi = min(values), max(values)
+    print(f"{args.metric}: {len(points)} point(s), "
+          f"min {_fmt_value(lo)}, max {_fmt_value(hi)}, "
+          f"latest {_fmt_value(values[-1])}")
+    for prev, p in zip([None] + points[:-1], points):
+        when = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(p["created_s"]))
+        label = f"  [{p['label']}]" if p["label"] else ""
+        step = ""
+        if prev is not None and prev["value"] != 0:
+            step = f"  ({100.0 * (p['value'] - prev['value']) / abs(prev['value']):+.1f}%)"
+        print(f"  #{p['run_id']:<4} {when}  {_fmt_value(p['value']):>12}"
+              f"{step}{label}")
+    return 0
+
+
+def _cmd_gate(args) -> int:
+    if (args.baseline is None) == (args.baseline_file is None):
+        print("error: gate needs exactly one of --baseline / --baseline-file",
+              file=sys.stderr)
+        return gate_mod.EXIT_USAGE
+    patterns = _patterns(args)
+    doc = ingest.load_artifact(args.artifact)
+    current = ingest.flatten(doc)
+    if args.baseline_file is not None:
+        baseline = gate_mod.read_baseline(args.baseline_file)
+    else:
+        with PerfDB(args.db) as db:
+            try:
+                base_run = db.run(args.baseline)
+            except PerfError as e:
+                print(f"no baseline: {e}", file=sys.stderr)
+                return gate_mod.EXIT_NO_BASELINE
+            baseline = db.metrics_for(base_run["id"])
+    result = gate_mod.compare(
+        current, baseline, patterns=patterns, threshold_pct=args.threshold
+    )
+    if args.record:
+        with PerfDB(args.db) as db:
+            db.record(doc, label=args.label, source=args.artifact,
+                      git_sha=_git_sha())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+    _print_gate(result)
+    return result["exit_code"]
+
+
+def _print_gate(result: dict) -> None:
+    marks = {"regressed": "FAIL", "improved": "ok  ", "within-noise": "ok  ",
+             "missing-baseline": "??  "}
+    for row in result["rows"]:
+        if row["verdict"] == "within-noise" and row["delta"] == 0:
+            continue  # keep the output focused on what moved
+        pct = f"{row['pct']:+8.2f}%" if row["pct"] is not None else "       --"
+        print(f"  {marks[row['verdict']]} {row['metric']:<44} "
+              f"{_fmt_value(row['baseline']):>12} -> "
+              f"{_fmt_value(row['current']):>12}  {pct}  {row['verdict']}")
+    c = result["counts"]
+    print(f"gate: {result['verdict']} "
+          f"({c['regressed']} regressed, {c['improved']} improved, "
+          f"{c['within-noise']} within noise, "
+          f"{c['missing-baseline']} missing baseline; "
+          f"threshold {result['threshold_pct']}%)")
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "record": _cmd_record,
+        "runs": _cmd_runs,
+        "diff": _cmd_diff,
+        "trend": _cmd_trend,
+        "gate": _cmd_gate,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2

@@ -248,7 +248,15 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--obs",
         metavar="PATH",
-        help="write a repro.obs/1 metrics profile of the bench run here",
+        help="write a repro.obs/1 metrics profile of the bench run here "
+        "(with --jobs, worker-side counters and spans are merged in)",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        help="write a Chrome trace of the bench run here (with --jobs: "
+        "merged across processes, one pid lane per worker; open at "
+        "https://ui.perfetto.dev)",
     )
     parser.add_argument(
         "--check",
@@ -273,17 +281,20 @@ def main(argv: Optional[list] = None) -> int:
         return run_bench(check=args.check)
 
     try:
-        if args.obs:
+        if args.obs or args.chrome_trace:
             with obs_core.enabled() as o:
                 bench = compute()
-            obs_export.write_json(
-                args.obs,
-                obs_export.metrics(
-                    o,
-                    meta={"tool": "repro.pipeline.bench"},
-                    analysis_cache=bench.get("cache"),
-                ),
-            )
+            if args.obs:
+                obs_export.write_json(
+                    args.obs,
+                    obs_export.metrics(
+                        o,
+                        meta={"tool": "repro.pipeline.bench"},
+                        analysis_cache=bench.get("cache"),
+                    ),
+                )
+            if args.chrome_trace:
+                obs_export.write_json(args.chrome_trace, obs_export.chrome_trace(o))
         else:
             bench = compute()
     except CheckError as e:
@@ -301,6 +312,9 @@ def main(argv: Optional[list] = None) -> int:
     print(f"wrote {path}")
     if args.obs:
         print(f"obs metrics written to {args.obs}")
+    if args.chrome_trace:
+        print(f"chrome trace written to {args.chrome_trace} "
+              "(open at https://ui.perfetto.dev)")
     if bench["mode"] == "pool":
         bad = [
             label

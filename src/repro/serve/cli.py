@@ -122,7 +122,13 @@ def _report_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--out", metavar="PATH",
                    help="write the repro.serve/1 report here")
     p.add_argument("--obs", metavar="PATH",
-                   help="write a repro.obs/1 metrics profile here")
+                   help="write a repro.obs/1 metrics profile here "
+                   "(workers observe their own jobs; worker counters and "
+                   "spans are merged in)")
+    p.add_argument("--chrome-trace", metavar="PATH",
+                   help="write a merged multi-process Chrome trace here "
+                   "(one pid lane per worker; open at "
+                   "https://ui.perfetto.dev)")
 
 
 def _specs_from_submit(args) -> list[JobSpec]:
@@ -181,6 +187,21 @@ def _print_report(report: dict) -> None:
     util_txt = f", pool utilization {util:.0%}" if util is not None else ""
     print(f"{s['total']} job(s): {', '.join(parts) or 'none'} "
           f"in {report['elapsed_s']:.2f}s{util_txt}")
+    wall = report.get("latency", {}).get("wall_s", {})
+    if wall.get("count"):
+        print(
+            f"latency: p50 {wall['p50'] * 1000:.1f} ms / "
+            f"p95 {wall['p95'] * 1000:.1f} ms / "
+            f"p99 {wall['p99'] * 1000:.1f} ms "
+            f"(max {wall['max'] * 1000:.1f} ms over {wall['count']} job(s))"
+        )
+    for entry in report["pool"].get("per_worker", []):
+        if not entry["jobs"] and not entry["busy_s"]:
+            continue
+        u = entry.get("utilization")
+        u_txt = f"  ({u:.0%} busy)" if u is not None else ""
+        print(f"  worker {entry['worker']}: {entry['jobs']} job(s), "
+              f"{entry['busy_s']:.2f}s busy{u_txt}")
     store = report["store"]
     if store.get("enabled"):
         print(
@@ -208,10 +229,13 @@ def _run_jobs(args, specs: list[JobSpec]) -> int:
             meta=meta,
         )
 
-    if args.obs:
+    if args.obs or args.chrome_trace:
         with obs_core.enabled() as o:
             report = go()
-        obs_export.write_json(args.obs, obs_export.metrics(o, meta=meta))
+        if args.obs:
+            obs_export.write_json(args.obs, obs_export.metrics(o, meta=meta))
+        if args.chrome_trace:
+            obs_export.write_json(args.chrome_trace, obs_export.chrome_trace(o))
     else:
         report = go()
 
@@ -227,6 +251,9 @@ def _run_jobs(args, specs: list[JobSpec]) -> int:
         print(f"report written to {args.out}")
     if args.obs:
         print(f"obs metrics written to {args.obs}")
+    if args.chrome_trace:
+        print(f"chrome trace written to {args.chrome_trace} "
+              "(open at https://ui.perfetto.dev)")
     return 0 if report["summary"]["ok"] == report["summary"]["total"] else 1
 
 

@@ -57,6 +57,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.errors import PipelineError, ReproError
+from repro.obs import core as _obs
 
 #: exceptions that mean "same input will fail the same way" — never retried
 TERMINAL_ERRORS = (ReproError,)
@@ -202,7 +203,10 @@ def execute_job(spec: JobSpec) -> dict:
     """
     t0 = time.perf_counter()
     fn = _EXECUTORS[spec.kind]
-    result = fn(spec)
+    # the job envelope span: when the worker observes itself, this is the
+    # root every pass/interpret/trace span nests under in its lane
+    with _obs.span(f"job:{spec.display}", cat="serve.worker", kind=spec.kind):
+        result = fn(spec)
     result.setdefault("kind", spec.kind)
     result["elapsed_s"] = round(time.perf_counter() - t0, 4)
     return result

@@ -30,7 +30,16 @@ worker — and workers publish computed values back to the store.
 
 Everything mirrors into :mod:`repro.obs` when an observer is active:
 ``serve.store.hit/miss``, ``serve.job.<status>``, queue-wait and
-wall-time histograms, one span event per finished job.
+wall-time histograms, one span event per finished job.  Observation
+also **crosses the process boundary**: when the parent is observing at
+assignment time, the task message tells the worker to activate its own
+observer around the job, snapshot it (:mod:`repro.obs.snapshot`), and
+ship the snapshot back with the result.  The parent merges each
+snapshot into its observer — counters summed, histograms folded, spans
+aligned onto the parent clock at the job's assignment time and tagged
+with the worker's lane (``w<slot>``) — so exported Chrome traces get
+one pid lane per worker and metrics cover the work that actually
+dominates a pool run's wall time.
 """
 
 from __future__ import annotations
@@ -43,6 +52,7 @@ from typing import Optional, Sequence
 
 from repro.errors import PipelineError
 from repro.obs import core as _obs
+from repro.obs import snapshot as _snap
 from repro.serve.jobs import TERMINAL_ERRORS, JobSpec, execute_job, job_key
 from repro.serve.store import ArtifactStore
 
@@ -69,6 +79,9 @@ class JobOutcome:
     queue_wait_s: float = 0.0
     submissions: int = 1
     stored: bool = False
+    #: the worker-side obs snapshot (repro.obs.snapshot/1) of the final
+    #: accepted attempt, when the parent was observing; None otherwise
+    obs: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -140,17 +153,24 @@ def _worker_main(slot: int, gen: int, task_q, result_q, store_args) -> None:
         item = task_q.get()
         if item is None:
             return
-        job_id, attempt, spec, key = item
+        job_id, attempt, spec, key, observing = item
         t0 = time.perf_counter()
+        obs_obj = _obs.Obs() if observing else None
         try:
-            value = execute_job(spec)
+            if obs_obj is not None:
+                with _obs.enabled(obs_obj):
+                    value = execute_job(spec)
+            else:
+                value = execute_job(spec)
         except TERMINAL_ERRORS as e:
             result_q.put((slot, gen, job_id, attempt, "fail", None,
-                          f"{type(e).__name__}: {e}", time.perf_counter() - t0))
+                          f"{type(e).__name__}: {e}", time.perf_counter() - t0,
+                          _maybe_snapshot(obs_obj)))
             continue
         except BaseException as e:
             result_q.put((slot, gen, job_id, attempt, "error", None,
-                          f"{type(e).__name__}: {e}", time.perf_counter() - t0))
+                          f"{type(e).__name__}: {e}", time.perf_counter() - t0,
+                          _maybe_snapshot(obs_obj)))
             continue
         stored = False
         if store is not None and key is not None:
@@ -160,7 +180,18 @@ def _worker_main(slot: int, gen: int, task_q, result_q, store_args) -> None:
             except Exception:
                 pass  # a sick store costs durability, never the job
         result_q.put((slot, gen, job_id, attempt, "ok", (value, stored),
-                      None, time.perf_counter() - t0))
+                      None, time.perf_counter() - t0, _maybe_snapshot(obs_obj)))
+
+
+def _maybe_snapshot(obs_obj) -> Optional[dict]:
+    """Snapshot a worker-side observer; a failed snapshot (unpicklable
+    span arg etc.) costs observability, never the job result."""
+    if obs_obj is None:
+        return None
+    try:
+        return _snap.snapshot(obs_obj)
+    except Exception:
+        return None
 
 
 class WorkerPool:
@@ -193,6 +224,11 @@ class WorkerPool:
         self.respawns = 0
         self.coalesced = 0
         self.busy_s = 0.0  # parent-measured worker-occupied seconds
+        # per-slot breakdown (slots survive respawns, so this is per
+        # worker *lane*): attempts that returned a result, busy seconds
+        self.worker_stats = [
+            {"jobs": 0, "busy_s": 0.0} for _ in range(workers)
+        ]
 
     # ---- submission -------------------------------------------------------
     def submit(self, spec: JobSpec) -> JobHandle:
@@ -287,7 +323,8 @@ class WorkerPool:
             job.outcome.worker = slot
             worker.job = job
             worker.task_q.put(
-                (job.outcome.job_id, job.outcome.attempts, job.spec, job.key)
+                (job.outcome.job_id, job.outcome.attempts, job.spec, job.key,
+                 _obs.current() is not None)
             )
 
     def _collect(self, block: bool) -> None:
@@ -303,16 +340,20 @@ class WorkerPool:
                 except (OSError, EOFError):
                     break  # queue died with its process; _reap_deaths handles
                 got = True
-                slot, gen, job_id, attempt, kind, payload, error, wall = msg
+                slot, gen, job_id, attempt, kind, payload, error, wall, snap = msg
                 if worker.gen != gen:
                     continue  # stale: posted by a process we already killed
                 job = worker.job
                 if job is None or job.outcome.job_id != job_id:
                     continue  # stale: a prior attempt of a reassigned job
                 worker.job = None
-                self.busy_s += time.perf_counter() - job.assigned_at
+                occupied = time.perf_counter() - job.assigned_at
+                self.busy_s += occupied
+                self.worker_stats[slot]["jobs"] += 1
+                self.worker_stats[slot]["busy_s"] += occupied
                 if attempt != job.outcome.attempts:
                     continue
+                self._merge_worker_obs(job, slot, snap)
                 if kind == "ok":
                     value, stored = payload
                     job.outcome.value = value
@@ -340,6 +381,7 @@ class WorkerPool:
             if now - job.assigned_at < job.spec.timeout_s:
                 continue
             self.busy_s += now - job.assigned_at
+            self.worker_stats[slot]["busy_s"] += now - job.assigned_at
             self._kill(slot)
             self._retry_or_fail(
                 job,
@@ -355,7 +397,9 @@ class WorkerPool:
             if worker.process.is_alive():
                 continue
             job = worker.job
-            self.busy_s += time.perf_counter() - job.assigned_at
+            occupied = time.perf_counter() - job.assigned_at
+            self.busy_s += occupied
+            self.worker_stats[slot]["busy_s"] += occupied
             exitcode = worker.process.exitcode
             self._respawn(slot)
             self._retry_or_fail(
@@ -363,6 +407,20 @@ class WorkerPool:
                 f"worker died mid-job (exitcode {exitcode})",
                 terminal_status="failed",
             )
+
+    def _merge_worker_obs(self, job: _Job, slot: int, snap) -> None:
+        """Fold a worker's obs snapshot into the parent observer, anchored
+        at the moment the job was handed to the worker (parent clock)."""
+        if snap is None:
+            return
+        job.outcome.obs = snap
+        o = _obs.current()
+        if o is None:
+            return
+        try:
+            _snap.merge(o, snap, anchor_s=job.assigned_at, lane=f"w{slot}")
+        except Exception:
+            _obs.count("serve.obs.merge_failed")
 
     # ---- resolution -------------------------------------------------------
     def _retry_or_fail(self, job: _Job, error: str, terminal_status: str) -> None:
@@ -468,4 +526,12 @@ class WorkerPool:
             "respawns": self.respawns,
             "coalesced": self.coalesced,
             "busy_s": round(self.busy_s, 4),
+            "per_worker": [
+                {
+                    "worker": slot,
+                    "jobs": ws["jobs"],
+                    "busy_s": round(ws["busy_s"], 4),
+                }
+                for slot, ws in enumerate(self.worker_stats)
+            ],
         }

@@ -26,7 +26,11 @@
       ],
       "summary": {"hit": 0, "computed": 3, ..., "total": 3, "ok": 3},
       "pool": {"workers", "max_retries", "backoff_s", "respawns",
-               "coalesced", "busy_s", "utilization", "elapsed_s"},
+               "coalesced", "busy_s", "utilization", "elapsed_s",
+               "per_worker": [{"worker", "jobs", "busy_s",
+                               "utilization"}, ...]},
+      "latency": {"wall_s": {count,total,min,max,mean,p50,p95,p99},
+                  "queue_wait_s": {...same keys...}},
       "store": {"enabled", "root", "hits", "misses", "writes",
                 "corrupt", "entries", "bytes"} ,
       "elapsed_s": 1.23
@@ -47,6 +51,7 @@ import time
 from typing import Optional, Sequence
 
 from repro.obs import core as _obs
+from repro.obs.core import Histogram
 from repro.serve.jobs import JobSpec, result_fingerprint
 from repro.serve.pool import STATUSES, JobOutcome, WorkerPool
 from repro.serve.store import ArtifactStore
@@ -134,15 +139,34 @@ def build_report(
         if workers and elapsed_s > 0
         else None
     )
+    for entry in pool_stats.get("per_worker", []):
+        entry["utilization"] = (
+            round(entry["busy_s"] / elapsed_s, 4) if elapsed_s > 0 else None
+        )
     return {
         "schema": SCHEMA,
         "meta": {k: str(v) for k, v in (meta or {}).items()},
         "jobs": jobs,
         "summary": summary,
         "pool": pool_stats,
+        "latency": _latency(outcomes),
         "store": _store_stats(store, outcomes),
         "elapsed_s": round(elapsed_s, 4),
     }
+
+
+def _latency(outcomes: Sequence[JobOutcome]) -> dict:
+    """Tail-latency summaries over the batch: execution wall time per
+    resolved job (store hits are genuine ~0 s responses and count), and
+    queue wait for the jobs that actually reached a worker."""
+    wall = Histogram()
+    queue = Histogram()
+    for out in outcomes:
+        if out.status != "pending":
+            wall.observe(out.wall_s)
+        if out.attempts:
+            queue.observe(out.queue_wait_s)
+    return {"wall_s": wall.summary(), "queue_wait_s": queue.summary()}
 
 
 def _store_stats(
@@ -164,9 +188,25 @@ def validate_report(doc: dict) -> list[str]:
         return ["document is not an object"]
     if doc.get("schema") != SCHEMA:
         errors.append(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
-    for key in ("meta", "summary", "pool", "store"):
+    for key in ("meta", "summary", "pool", "latency", "store"):
         if not isinstance(doc.get(key), dict):
             errors.append(f"missing or non-object field {key!r}")
+    if isinstance(doc.get("latency"), dict):
+        for key in ("wall_s", "queue_wait_s"):
+            h = doc["latency"].get(key)
+            if not isinstance(h, dict):
+                errors.append(f"latency missing histogram {key!r}")
+                continue
+            missing = {"count", "mean", "p50", "p95", "p99"} - set(h)
+            if missing:
+                errors.append(f"latency[{key!r}] missing {sorted(missing)}")
+    if isinstance(doc.get("pool"), dict):
+        for i, entry in enumerate(doc["pool"].get("per_worker") or []):
+            missing = {"worker", "jobs", "busy_s", "utilization"} - set(entry)
+            if missing:
+                errors.append(
+                    f"pool.per_worker[{i}] missing {sorted(missing)}"
+                )
     if not isinstance(doc.get("jobs"), list):
         errors.append("missing or non-list field 'jobs'")
         return errors

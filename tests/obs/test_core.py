@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.obs import core
 
 
@@ -36,7 +38,90 @@ class TestCounters:
     def test_empty_histogram_summary_has_no_infinities(self):
         h = core.Histogram()
         s = h.summary()
-        assert s == {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        assert s == {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                     "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+class TestStreamingQuantiles:
+    def test_exact_below_five_observations(self):
+        h = core.Histogram()
+        for v in (4.0, 1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.quantile("p50") == 2.5  # interpolated over the exact buffer
+        assert h.quantile("p99") == pytest.approx(3.97)
+
+    def test_p2_tracks_a_uniform_stream(self):
+        h = core.Histogram()
+        # deterministic low-discrepancy walk over [0, 1)
+        for i in range(2000):
+            h.observe((i * 419) % 2000 / 2000)
+        assert h.quantile("p50") == pytest.approx(0.5, abs=0.05)
+        assert h.quantile("p95") == pytest.approx(0.95, abs=0.05)
+        assert h.quantile("p99") == pytest.approx(0.99, abs=0.02)
+
+    def test_estimates_are_clamped_into_range(self):
+        h = core.Histogram()
+        for v in (5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0):
+            h.observe(v)
+        for key in ("p50", "p95", "p99"):
+            assert h.quantile(key) == 5.0
+
+    def test_unknown_quantile_key_raises(self):
+        with pytest.raises(KeyError):
+            core.Histogram().quantile("p42")
+
+    def test_summary_includes_quantiles(self):
+        h = core.Histogram()
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["p50"] == 2.0
+        assert s["p99"] == pytest.approx(2.98)
+
+    def test_merge_of_halves_matches_full_stream(self):
+        full, a, b = core.Histogram(), core.Histogram(), core.Histogram()
+        values = [(i * 419) % 1000 / 1000 for i in range(1000)]
+        for v in values:
+            full.observe(v)
+        for v in values[:500]:
+            a.observe(v)
+        for v in values[500:]:
+            b.observe(v)
+        a.merge(b)
+        assert a.count == full.count
+        assert a.total == pytest.approx(full.total)
+        assert (a.min, a.max) == (full.min, full.max)
+        for key in ("p50", "p95", "p99"):
+            assert a.quantile(key) == pytest.approx(full.quantile(key), abs=0.05)
+
+    def test_merge_replays_a_small_buffer_exactly(self):
+        big, small = core.Histogram(), core.Histogram()
+        for i in range(100):
+            big.observe(float(i))
+        for v in (0.0, 99.0):
+            small.observe(v)
+        before = big.count
+        big.merge(small)
+        assert big.count == before + 2
+        assert (big.min, big.max) == (0.0, 99.0)
+
+    def test_merge_into_empty_copies(self):
+        a, b = core.Histogram(), core.Histogram()
+        for v in (1.0, 2.0, 3.0):
+            b.observe(v)
+        a.merge(b)
+        assert a.summary() == b.summary()
+        b.observe(100.0)  # the copy must be independent
+        assert a.count == 3
+
+    def test_to_dict_from_dict_roundtrip_keeps_estimating(self):
+        h = core.Histogram()
+        for i in range(50):
+            h.observe(float(i))
+        back = core.Histogram.from_dict(h.to_dict())
+        assert back.summary() == h.summary()
+        back.observe(1000.0)
+        assert back.count == 51 and back.max == 1000.0
 
 
 class TestSpans:

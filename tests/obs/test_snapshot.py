@@ -1,0 +1,147 @@
+"""repro.obs.snapshot: portable form, restore, cross-clock merge."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import core
+from repro.obs.snapshot import SCHEMA, merge, restore, snapshot
+
+
+def ticking_clock(step: float = 1.0):
+    """A deterministic clock: returns 0, step, 2*step, ... on each call."""
+    state = {"t": -step}
+
+    def clock() -> float:
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+def observed(clock=None) -> core.Obs:
+    """An observer with one of everything."""
+    o = core.Obs(clock=clock or ticking_clock())
+    o.count("dep.queries", 3)
+    for v in (1.0, 2.0, 4.0):
+        o.observe("lat_s", v)
+    with o.span("outer", cat="a", status="applied"):
+        with o.span("inner", cat="b"):
+            pass
+    return o
+
+
+class TestRoundtrip:
+    def test_snapshot_is_json_serializable(self):
+        doc = snapshot(observed())
+        assert doc["schema"] == SCHEMA
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_restore_preserves_everything(self):
+        doc = snapshot(observed())
+        back = restore(doc, clock=ticking_clock())
+        assert back.counters == {"dep.queries": 3}
+        h = back.histograms["lat_s"]
+        assert (h.count, h.total, h.min, h.max) == (3, 7.0, 1.0, 4.0)
+        assert h.quantile("p50") == 2.0  # exact: still in the P2 buffer
+        inner, outer = back.spans
+        assert (inner.name, inner.depth) == ("inner", 1)
+        assert (outer.name, outer.depth) == ("outer", 0)
+        assert outer.args == {"status": "applied"}
+        # span timestamps stay epoch-relative through the roundtrip
+        orig = observed()
+        assert [(s.ts, s.dur) for s in back.spans] == [
+            (s.ts, s.dur) for s in orig.spans
+        ]
+
+    def test_restore_then_snapshot_is_identity(self):
+        doc = snapshot(observed())
+        assert snapshot(restore(doc, clock=ticking_clock())) == doc
+
+    def test_rejects_foreign_documents(self):
+        with pytest.raises(ValueError):
+            restore({"schema": "repro.obs/1"})
+        with pytest.raises(ValueError):
+            merge(core.Obs(), {"spans": []})
+
+
+class TestMerge:
+    def test_counters_sum(self):
+        parent = core.Obs(clock=ticking_clock())
+        parent.count("dep.queries", 10)
+        parent.count("parent.only")
+        merge(parent, snapshot(observed()))
+        assert parent.counters == {
+            "dep.queries": 13,
+            "parent.only": 1,
+        }
+
+    def test_histograms_merge_exactly_in_the_moments(self):
+        parent = core.Obs(clock=ticking_clock())
+        for v in (0.5, 8.0):
+            parent.observe("lat_s", v)
+        merge(parent, snapshot(observed()))
+        h = parent.histograms["lat_s"]
+        assert (h.count, h.total, h.min, h.max) == (5, 15.5, 0.5, 8.0)
+        # all five observations still fit the exact buffer
+        assert h.quantile("p50") == 2.0
+
+    def test_clock_domains_align_on_the_anchor(self):
+        # parent clock and child clock have unrelated epochs; the pool
+        # anchors child t=0 at the parent-clock assignment time
+        parent = core.Obs(clock=ticking_clock())        # epoch 0.0
+        child = core.Obs(clock=ticking_clock(0.5))      # epoch 0.0, own domain
+        with child.span("job:x", cat="serve.worker"):   # ts 0.5, dur 0.5
+            pass
+        merge(parent, snapshot(child), anchor_s=10.0, lane="w1")
+        (s,) = parent.spans
+        assert s.ts == 10.5  # anchor + child-relative time
+        assert s.dur == 0.5
+        assert s.lane == "w1"
+
+    def test_anchor_is_parent_clock_absolute(self):
+        clock = ticking_clock()
+        parent = core.Obs(clock=clock)  # epoch 0.0
+        parent.epoch = 3.0              # pretend the parent started later
+        child = core.Obs(clock=ticking_clock())
+        child.event("e", start=1.0, dur=0.25)
+        merge(parent, snapshot(child), anchor_s=10.0)
+        (s,) = parent.spans
+        # child-relative 1.0 lands at parent-relative (10.0 - 3.0) + 1.0
+        assert s.ts == 8.0
+
+    def test_depth_and_existing_lane_preserved(self):
+        parent = core.Obs(clock=ticking_clock())
+        child = observed()
+        child.spans[0].lane = "w9"  # already tagged: do not overwrite
+        merge(parent, snapshot(child), lane="w0")
+        inner, outer = parent.spans
+        assert inner.depth == 1 and outer.depth == 0
+        assert inner.lane == "w9"
+        assert outer.lane == "w0"
+
+    def test_merge_without_anchor_keeps_child_times(self):
+        parent = core.Obs(clock=ticking_clock())
+        merge(parent, snapshot(observed()))
+        orig = observed()
+        assert [s.ts for s in parent.spans] == [s.ts for s in orig.spans]
+
+
+class TestChromeExport:
+    def test_merged_spans_get_their_own_pid_lane(self):
+        from repro.obs.export import chrome_trace
+
+        parent = observed()
+        merge(parent, snapshot(observed()), anchor_s=0.0, lane="w0")
+        merge(parent, snapshot(observed()), anchor_s=0.0, lane="w1")
+        trace = chrome_trace(parent)
+        pids = {e["pid"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert pids == {1, 2, 3}
+        names = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["name"] == "process_name"
+        }
+        assert names == {"repro", "repro worker w0", "repro worker w1"}

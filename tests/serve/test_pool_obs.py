@@ -1,0 +1,99 @@
+"""Cross-process observation: worker snapshots merged into the parent.
+
+Runs a real 2-worker batch under an active observer and asserts the
+tentpole invariants: worker-side pass spans appear on the parent
+timeline in per-worker pid lanes, and worker counters fold into the
+parent's so nothing a worker counted is lost.
+"""
+
+from __future__ import annotations
+
+from repro.obs import core as obs_core
+from repro.obs import export as obs_export
+from repro.serve.jobs import JobSpec
+from repro.serve.service import run_batch, validate_report
+
+SPECS = [
+    JobSpec(kind="derive", workload="matmul", timeout_s=120.0),
+    JobSpec(kind="derive", workload="aconv", timeout_s=120.0),
+]
+
+
+def observed_batch():
+    with obs_core.enabled() as o:
+        report = run_batch(SPECS, workers=2, store=None)
+    return o, report
+
+
+class TestWorkerObservation:
+    def test_worker_spans_reach_the_parent_timeline(self):
+        o, report = observed_batch()
+        assert all(j["status"] == "computed" for j in report["jobs"])
+        lanes = {s.lane for s in o.spans if s.lane is not None}
+        assert lanes  # at least one worker contributed spans
+        assert lanes <= {"w0", "w1"}
+        worker_passes = [
+            s for s in o.spans if s.lane is not None and s.name.startswith("pass:")
+        ]
+        assert worker_passes  # the pipeline ran *inside* the workers
+        roots = {
+            s.name for s in o.spans if s.lane is not None and s.depth == 0
+        }
+        assert roots == {"job:derive:matmul", "job:derive:aconv"}
+
+    def test_chrome_trace_has_one_pid_lane_per_worker(self):
+        o, _ = observed_batch()
+        trace = obs_export.chrome_trace(o)
+        events = trace["traceEvents"]
+        lanes = sorted({s.lane for s in o.spans if s.lane is not None})
+        pids = {e["pid"] for e in events if e["ph"] == "X"}
+        assert pids == {1} | {i + 2 for i in range(len(lanes))}
+        lane_names = {
+            e["args"]["name"]
+            for e in events
+            if e["name"] == "process_name" and e["pid"] > 1
+        }
+        assert lane_names == {f"repro worker {lane}" for lane in lanes}
+
+    def test_parent_counters_are_parent_plus_worker_sums(self):
+        with obs_core.enabled() as o:
+            from repro.serve.pool import WorkerPool
+
+            with WorkerPool(workers=2, store=None) as pool:
+                outcomes = pool.run(list(SPECS))
+        snaps = [out.obs for out in outcomes]
+        assert all(isinstance(s, dict) for s in snaps)
+        worker_sums: dict = {}
+        for snap in snaps:
+            for name, n in snap["counters"].items():
+                worker_sums[name] = worker_sums.get(name, 0) + n
+        # everything a worker counted must appear, fully, in the parent
+        assert worker_sums  # the workers did count something
+        for name, total in worker_sums.items():
+            assert o.counters.get(name, 0) >= total
+        # pipeline counters only ever increment inside the workers, so
+        # there the fold is an exact equality
+        for name in [n for n in worker_sums if n.startswith("pipeline.")]:
+            assert o.counters[name] == worker_sums[name]
+
+    def test_outcome_snapshot_rides_the_result_queue(self):
+        _, report = observed_batch()
+        assert validate_report(report) == []
+
+    def test_report_surfaces_per_worker_and_latency(self):
+        _, report = observed_batch()
+        per_worker = report["pool"]["per_worker"]
+        assert [e["worker"] for e in per_worker] == [0, 1]
+        assert sum(e["jobs"] for e in per_worker) == 2
+        busy = [e for e in per_worker if e["jobs"]]
+        assert all(e["busy_s"] > 0 for e in busy)
+        assert all(0 <= e["utilization"] <= 1 for e in busy)
+        wall = report["latency"]["wall_s"]
+        assert wall["count"] == 2
+        assert wall["min"] <= wall["p50"] <= wall["p95"] <= wall["max"]
+        assert report["latency"]["queue_wait_s"]["count"] == 2
+
+    def test_unobserved_run_ships_no_snapshots(self):
+        report = run_batch(SPECS, workers=2, store=None)
+        assert all(j["status"] == "computed" for j in report["jobs"])
+        assert obs_core.current() is None
