@@ -1,0 +1,111 @@
+"""One enveloped artifact/report backbone for the whole stack.
+
+Every persisted JSON document — pipeline traces, bench tables, obs
+profiles, check reports, serve batch reports, matrix sweeps, perf
+baselines and gate verdicts — goes through this package:
+
+- :mod:`~repro.artifacts.envelope` — the one envelope (schema id,
+  canonical-JSON sha256 digest, producer, timing) plus the legacy
+  reader that accepts bare pre-envelope documents;
+- :mod:`~repro.artifacts.registry` — the schema-id constants (single
+  source of truth) and the ``(validate_payload, flatten)`` hook
+  registry;
+- :mod:`~repro.artifacts.validate` — structured ``artifact/*``
+  diagnostics over enveloped or bare documents;
+- :mod:`~repro.artifacts.sink` — the content-addressed store as
+  universal artifact sink (content entries + request pointers);
+- :func:`publish` — the one call producers make: envelope, validate,
+  write to disk, land in the store.
+
+CLI: ``python -m repro.artifacts validate|ls|cat`` works on loose
+files and store entries alike.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.artifacts import registry
+from repro.artifacts.envelope import (
+    ENVELOPE_FIELDS,
+    canonical_json,
+    envelope,
+    is_envelope,
+    load_file,
+    payload_digest,
+    payload_of,
+    schema_id_of,
+    split_id,
+    write_file,
+)
+from repro.artifacts.sink import (
+    find_artifact,
+    get_artifact,
+    get_for_request,
+    list_artifacts,
+    put_artifact,
+)
+from repro.artifacts.validate import (
+    Problem,
+    describe,
+    require_valid,
+    validate_document,
+)
+from repro.errors import ArtifactError
+
+__all__ = [
+    "ArtifactError",
+    "ENVELOPE_FIELDS",
+    "Problem",
+    "canonical_json",
+    "describe",
+    "envelope",
+    "find_artifact",
+    "get_artifact",
+    "get_for_request",
+    "is_envelope",
+    "list_artifacts",
+    "load_file",
+    "payload_digest",
+    "payload_of",
+    "publish",
+    "put_artifact",
+    "registry",
+    "require_valid",
+    "schema_id_of",
+    "split_id",
+    "validate_document",
+    "write_file",
+]
+
+
+def publish(
+    path: Optional[str],
+    doc: dict,
+    schema: Optional[str] = None,
+    producer: str = "",
+    created_by_run: Optional[str] = None,
+    elapsed_s: Optional[float] = None,
+    store=None,
+    request: Any = None,
+    validate: bool = True,
+) -> dict:
+    """Envelope ``doc`` (bare payloads are wrapped, envelopes pass
+    through), validate it, write it to ``path`` (when given), and land
+    it in ``store`` (when given, optionally under a ``request``
+    pointer).  Returns the envelope — the single call every producer
+    makes."""
+    env = doc if is_envelope(doc) else envelope(
+        doc,
+        schema=schema,
+        producer=producer,
+        created_by_run=created_by_run,
+        elapsed_s=elapsed_s,
+    )
+    if validate:
+        require_valid(env)
+    if path is not None:
+        write_file(path, env)
+    if store is not None:
+        put_artifact(store, env, request=request)
+    return env

@@ -1,0 +1,7 @@
+"""``python -m repro.artifacts`` entry point."""
+
+import sys
+
+from repro.artifacts.cli import main
+
+sys.exit(main())

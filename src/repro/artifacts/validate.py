@@ -1,0 +1,172 @@
+"""Document-level validation: envelope shape, schema identity, payload.
+
+One entry point — :func:`validate_document` — replaces the four
+copy-pasted ``if doc.get("schema") != SCHEMA`` scaffolds the subsystems
+used to carry.  It returns structured :class:`Problem` rows with stable
+rule ids (the ``artifact/*`` catalogue below), so CI and tests can
+assert on *which* rule fired, not on message text:
+
+==============================  =============================================
+rule id                         fires when
+==============================  =============================================
+``artifact/not-object``         the document is not a JSON object
+``artifact/malformed-envelope`` envelope fields missing or mistyped
+``artifact/unknown-schema``     no registered kind matches the schema id
+``artifact/stale-version``      the kind name is known, the version is not
+``artifact/digest-mismatch``    the digest does not match the payload
+``artifact/schema-mismatch``    the payload's legacy inner ``schema`` field
+                                disagrees with the envelope
+``artifact/invalid-payload``    the kind's registered payload check failed
+                                (one row per problem it reports)
+==============================  =============================================
+
+Bare pre-envelope documents are accepted (the legacy reader): their
+schema id comes from the inner ``schema`` field and only the payload
+check applies — there is no digest to verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.artifacts import registry
+from repro.artifacts.envelope import (
+    is_envelope,
+    payload_digest,
+    payload_of,
+    schema_id_of,
+)
+from repro.errors import ArtifactError
+
+RULE_NOT_OBJECT = "artifact/not-object"
+RULE_MALFORMED = "artifact/malformed-envelope"
+RULE_UNKNOWN_SCHEMA = "artifact/unknown-schema"
+RULE_STALE_VERSION = "artifact/stale-version"
+RULE_DIGEST = "artifact/digest-mismatch"
+RULE_SCHEMA_MISMATCH = "artifact/schema-mismatch"
+RULE_PAYLOAD = "artifact/invalid-payload"
+
+
+@dataclass(frozen=True)
+class Problem:
+    """One validation finding: a stable rule id plus a human message."""
+
+    rule: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "message": self.message}
+
+    def __str__(self) -> str:
+        return f"{self.rule}: {self.message}"
+
+
+def _check_envelope_shape(doc: dict) -> list[Problem]:
+    problems = []
+    if not isinstance(doc.get("schema_version"), int) or isinstance(
+        doc.get("schema_version"), bool
+    ):
+        problems.append(Problem(
+            RULE_MALFORMED,
+            f"schema_version is {doc.get('schema_version')!r}, want an integer",
+        ))
+    if not isinstance(doc.get("digest"), str):
+        problems.append(Problem(RULE_MALFORMED, "digest missing or non-string"))
+    if not isinstance(doc.get("producer"), str):
+        problems.append(Problem(RULE_MALFORMED, "producer missing or non-string"))
+    timing = doc.get("timing")
+    if not isinstance(timing, dict) or "created_s" not in timing:
+        problems.append(Problem(
+            RULE_MALFORMED, "timing missing or lacks created_s"
+        ))
+    if not isinstance(doc.get("payload"), dict):
+        problems.append(Problem(RULE_MALFORMED, "payload missing or non-object"))
+    return problems
+
+
+def _check_schema_known(schema_id: str) -> Optional[Problem]:
+    if registry.lookup(schema_id) is not None:
+        return None
+    name = schema_id.partition("/")[0]
+    versions = registry.versions_of(name)
+    if versions:
+        have = ", ".join(f"{name}/{v}" for v in versions)
+        return Problem(
+            RULE_STALE_VERSION,
+            f"schema {schema_id!r} is a stale version (registered: {have})",
+        )
+    known = ", ".join(registry.known_ids())
+    return Problem(
+        RULE_UNKNOWN_SCHEMA,
+        f"schema {schema_id!r} is not registered (known: {known})",
+    )
+
+
+def validate_document(doc: Any) -> list[Problem]:
+    """Problems with an enveloped *or* legacy bare document (empty =
+    valid).  Envelope checks run first; the registered payload check
+    runs only when the schema resolves."""
+    if not isinstance(doc, dict):
+        return [Problem(RULE_NOT_OBJECT, "document is not a JSON object")]
+
+    problems: list[Problem] = []
+    if is_envelope(doc):
+        problems.extend(_check_envelope_shape(doc))
+        if problems:
+            return problems
+        schema_id = f"{doc['schema']}/{doc['schema_version']}"
+        payload = doc["payload"]
+        if payload_digest(payload) != doc["digest"]:
+            problems.append(Problem(
+                RULE_DIGEST,
+                f"digest {doc['digest'][:12]}... does not match the payload "
+                f"(computed {payload_digest(payload)[:12]}...)",
+            ))
+        inner = payload.get("schema")
+        if inner is not None and inner != schema_id:
+            problems.append(Problem(
+                RULE_SCHEMA_MISMATCH,
+                f"payload declares schema {inner!r}, envelope says "
+                f"{schema_id!r}",
+            ))
+    else:
+        schema_id = schema_id_of(doc)
+        payload = doc
+        if schema_id is None:
+            return [Problem(
+                RULE_MALFORMED,
+                "bare document carries no schema field",
+            )]
+
+    unknown = _check_schema_known(schema_id)
+    if unknown is not None:
+        problems.append(unknown)
+        return problems
+
+    check = registry.get(schema_id).validate_payload
+    if check is not None:
+        problems.extend(
+            Problem(RULE_PAYLOAD, msg) for msg in check(payload)
+        )
+    return problems
+
+
+def require_valid(doc: Any) -> Any:
+    """``doc`` back when valid; :class:`ArtifactError` carrying the
+    structured problems otherwise."""
+    problems = validate_document(doc)
+    if problems:
+        head = problems[0]
+        more = f" (+{len(problems) - 1} more)" if len(problems) > 1 else ""
+        raise ArtifactError(f"invalid artifact: {head}{more}", problems)
+    return doc
+
+
+def describe(doc: Any) -> str:
+    """One human line for ``ls``-style listings."""
+    schema_id = schema_id_of(doc) or "?"
+    if is_envelope(doc):
+        return (f"{schema_id:<26} {doc['digest'][:12]}  "
+                f"{doc.get('producer') or '-'}")
+    return f"{schema_id:<26} {'(bare)':<12}  -"

@@ -1,5 +1,5 @@
-"""repro.check — static IR verifier, transformation-legality checker,
-and blockability linter.
+"""Static IR verifier, transformation-legality checker, and
+blockability linter (``repro.check``).
 
 Three layers of redundancy over the transformation stack (the paper's
 argument is about *legality*, so legality gets an independent audit):

@@ -14,6 +14,12 @@ pre/postchecks and IR re-verification.  ``--json PATH`` writes a
 ``repro.check/1`` report (diagnostics + rule catalogue + lint
 verdicts) that :func:`repro.check.report.validate_report` accepts.
 
+With ``--store``, the run participates in the content-addressed
+artifact store: the enveloped report lands there under a request
+pointer keyed by the checked workload set, and a repeated invocation
+over the same set short-circuits to the stored report instead of
+re-deriving anything (``--fresh`` forces recomputation).
+
 Exit status: 0 when no error-severity diagnostic was produced, 1 when
 at least one was, 2 for usage errors (unknown workload).
 """
@@ -24,6 +30,8 @@ import argparse
 import sys
 from typing import Optional
 
+from repro.artifacts import get_for_request, payload_of, write_file
+from repro.artifacts.registry import CHECK_REPORT
 from repro.check.diagnostics import RULES, Severity, errors_in
 from repro.check.linter import lint_blockability
 from repro.check.report import build_report, validate_report, write_report
@@ -66,6 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a repro.check/1 JSON report here")
     p.add_argument("--rules", action="store_true",
                    help="print the rule catalogue and exit")
+    p.add_argument("--store", action="store_true",
+                   help="publish the report to the content-addressed "
+                   "artifact store and resume from it on a repeat run")
+    p.add_argument("--store-dir", metavar="DIR",
+                   help="store root for --store (default .repro-cache/ "
+                   "or $REPRO_CACHE_DIR)")
+    p.add_argument("--fresh", action="store_true",
+                   help="with --store: ignore a stored report, recheck")
     return p
 
 
@@ -85,6 +101,27 @@ def main(argv: Optional[list] = None) -> int:
         print("error: name at least one WORKLOAD (or use --all / --rules)",
               file=sys.stderr)
         return 2
+
+    store = None
+    request = None
+    if args.store:
+        from repro.serve.store import ArtifactStore
+
+        store = ArtifactStore(args.store_dir)
+        request = ("check-report", tuple(names))
+        if not args.fresh:
+            env = get_for_request(store, CHECK_REPORT, request)
+            if env is not None:
+                report = payload_of(env)
+                if args.json:
+                    write_file(args.json, env)
+                    print(f"report written to {args.json}")
+                summary = report.get("summary", {})
+                print(f"resumed from store ({env['digest'][:12]}): "
+                      f"{summary.get('error', 0)} error(s), "
+                      f"{summary.get('warning', 0)} warning(s) over "
+                      f"{len(names)} workload(s)")
+                return 1 if summary.get("error") else 0
 
     diagnostics: list = []
     verdicts: list = []
@@ -110,19 +147,22 @@ def main(argv: Optional[list] = None) -> int:
         if errs:
             status = 1
 
-    if args.json:
+    if args.json or store is not None:
         report = build_report(
             diagnostics,
             verdicts=verdicts,
-            meta={"tool": "repro.check", "workloads": ",".join(names)},
+            meta={"tool": __package__, "workloads": ",".join(names)},
         )
         problems = validate_report(report)
         if problems:  # self-check: never ship a malformed artifact
             for p in problems:
                 print(f"error: invalid report: {p}", file=sys.stderr)
             return 2
-        write_report(args.json, report)
-        print(f"report written to {args.json}")
+        write_report(args.json, report, store=store, request=request)
+        if args.json:
+            print(f"report written to {args.json}")
+        if store is not None:
+            print("report published to the artifact store")
     return status
 
 

@@ -1,15 +1,15 @@
-"""The ``repro.check/1`` report schema: build, validate, write.
+"""The ``repro.check/1`` report schema: build, validate, flatten, write.
 
 .. code-block:: text
 
     {
-      "schema": "repro.check/1",
-      "meta": {"workloads": "lu_nopivot,givens", ...},   # free-form strings
-      "rules": {"ir/zero-step": {"severity", "summary"}, ...},
-      "diagnostics": [{"rule", "severity", "path", "message"}, ...],
-      "summary": {"error": 0, "warning": 1, "info": 3},
-      "verdicts": [{"procedure", "loop", "verdict", "reason",
-                    "preventing": str|null}, ...]
+      'schema': 'repro.check/1',
+      'meta': {'workloads': 'lu_nopivot,givens', ...},   # free-form strings
+      'rules': {'ir/zero-step': {'severity', 'summary'}, ...},
+      'diagnostics': [{'rule', 'severity', 'path', 'message'}, ...],
+      'summary': {'error': 0, 'warning': 1, 'info': 3},
+      'verdicts': [{'procedure', 'loop', 'verdict', 'reason',
+                    'preventing': str|null}, ...]
     }
 
 ``rules`` embeds the catalogue so a report is self-describing;
@@ -18,17 +18,19 @@ linter's blockability classifications (also mirrored as ``lint/*``
 diagnostics).  :func:`validate_report` returns a list of problems
 (empty = valid) — the idiom of :func:`repro.obs.export.validate_metrics`
 — and the ``check-smoke`` CI job runs it over the shipped workloads.
+Reports are written enveloped (see :mod:`repro.artifacts`); schema
+identity and digest live in the envelope layer.
 """
 
 from __future__ import annotations
 
-import json
 from typing import Iterable, Optional
 
+from repro.artifacts import publish
+from repro.artifacts.flatten import Sink
+from repro.artifacts.registry import CHECK_REPORT as SCHEMA
 from repro.check.diagnostics import RULES, Diagnostic, Severity
 from repro.check.linter import LintResult
-
-SCHEMA = "repro.check/1"
 
 _SEVERITIES = tuple(s.value for s in Severity)
 
@@ -65,12 +67,11 @@ def build_report(
 
 
 def validate_report(doc: dict) -> list[str]:
-    """Problems with a ``repro.check/1`` document (empty = valid)."""
+    """Problems with a check-report payload (empty = valid) — the
+    registered payload check for :data:`SCHEMA`."""
     errors: list[str] = []
     if not isinstance(doc, dict):
         return ["document is not an object"]
-    if doc.get("schema") != SCHEMA:
-        errors.append(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
     for key in ("meta", "rules", "summary"):
         if not isinstance(doc.get(key), dict):
             errors.append(f"missing or non-object field {key!r}")
@@ -120,7 +121,31 @@ def validate_report(doc: dict) -> list[str]:
     return errors
 
 
-def write_report(path: str, doc: dict) -> None:
-    with open(path, "w") as f:
-        json.dump(doc, f, indent=2, sort_keys=False)
-        f.write("\n")
+def flatten_report(doc: dict) -> dict:
+    """Flat perf metrics for a check-report payload — the registered
+    perf ingestion hook for :data:`SCHEMA`.  Severity counts, per-rule
+    diagnostic counts, and verdict counts: enough to see a check run get
+    noisier (or quieter) over time."""
+    sink = Sink()
+    for sev, count in sorted((doc.get("summary") or {}).items()):
+        sink.put(f"diagnostics.{sev}", count)
+    by_rule: dict = {}
+    for d in doc.get("diagnostics") or []:
+        if isinstance(d, dict) and isinstance(d.get("rule"), str):
+            by_rule[d["rule"]] = by_rule.get(d["rule"], 0) + 1
+    for rule, count in sorted(by_rule.items()):
+        sink.put(f"rule:{rule}", count)
+    by_verdict: dict = {}
+    for v in doc.get("verdicts") or []:
+        if isinstance(v, dict) and isinstance(v.get("verdict"), str):
+            by_verdict[v["verdict"]] = by_verdict.get(v["verdict"], 0) + 1
+    for verdict, count in sorted(by_verdict.items()):
+        sink.put(f"verdict.{verdict}", count)
+    return sink.metrics
+
+
+def write_report(path: str, doc: dict, store=None, request=None) -> dict:
+    """Envelope and write a check report (validated on the way out);
+    optionally lands it in the store sink.  Returns the envelope."""
+    return publish(path, doc, producer=__package__, store=store,
+                   request=request)

@@ -26,6 +26,20 @@ class AnalysisError(ReproError):
     """An analysis (dependence, sections, shape) could not produce a result."""
 
 
+class ArtifactError(ReproError):
+    """An artifact document failed the shared envelope/registry layer
+    (:mod:`repro.artifacts`): malformed envelope, unknown or stale schema,
+    digest mismatch, or a payload its registered validator rejects.
+
+    ``problems`` holds the structured
+    :class:`~repro.artifacts.validate.Problem` list (possibly empty when
+    raised for I/O-level failures)."""
+
+    def __init__(self, message: str, problems=()):
+        super().__init__(message)
+        self.problems = list(problems)
+
+
 class TransformError(ReproError):
     """A transformation's safety preconditions do not hold.
 

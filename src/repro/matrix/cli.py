@@ -191,7 +191,7 @@ def _progress_printer(total: int):
 
 def _run_sweep(args, grid: GridSpec) -> int:
     store = None if args.no_store else ArtifactStore(args.store_dir)
-    meta = {"tool": "repro.matrix", "command": args.command,
+    meta = {"tool": __package__, "command": args.command,
             "grid": grid.digest()[:12]}
     only = [args.only] if args.only else None
 
@@ -217,7 +217,7 @@ def _run_sweep(args, grid: GridSpec) -> int:
             with obs_core.enabled() as o:
                 doc = go()
             if args.obs:
-                obs_export.write_json(args.obs, obs_export.metrics(o, meta=meta))
+                obs_export.write_metrics(args.obs, obs_export.metrics(o, meta=meta))
             if args.chrome_trace:
                 obs_export.write_json(
                     args.chrome_trace, obs_export.chrome_trace(o)
@@ -231,7 +231,8 @@ def _run_sweep(args, grid: GridSpec) -> int:
             print(f"invalid report: {problem}", file=sys.stderr)
         return 2
     if args.out:
-        write_report(args.out, doc)
+        # land the sweep artifact in the store the cells ran against
+        write_report(args.out, doc, store=store)
     print(render(doc))
     if args.out:
         print(f"report written to {args.out}")
@@ -288,7 +289,7 @@ def _report(args) -> int:
     doc = build_report(
         rows,
         grid=grid,
-        meta={"tool": "repro.matrix", "command": "report"},
+        meta={"tool": __package__, "command": "report"},
         metric=args.metric,
         only=[args.only] if args.only else None,
     )
@@ -298,7 +299,7 @@ def _report(args) -> int:
             print(f"invalid report: {problem}", file=sys.stderr)
         return 2
     if args.out:
-        write_report(args.out, doc)
+        write_report(args.out, doc, store=store)
     print(render(doc))
     if args.out:
         print(f"report written to {args.out}")

@@ -3,34 +3,37 @@
 .. code-block:: text
 
     {
-      "schema": "repro.matrix/1",
-      "meta": {"tool": "...", ...},            # free-form strings
-      "grid": {"factors": {...}, "cells": 24,
-               "digest": "9f31..."} | null,     # null: report over all rows
-      "run": {"workers": 2, "skipped": 0, "hit": 0, "computed": 24,
-              "retried": 0, "timeout": 0, "failed": 0, "cancelled": 0,
-              "total": 24, "elapsed_s": 12.3} | null,   # null: report-only
-      "rows": [ {digest, workload, recipe, n, b, cache_kb, ..., status,
+      'schema': 'repro.matrix/1',
+      'meta': {'tool': '...', ...},            # free-form strings
+      'grid': {'factors': {...}, 'cells': 24,
+               'digest': '9f31...'} | null,     # null: report over all rows
+      'run': {'workers': 2, 'skipped': 0, 'hit': 0, 'computed': 24,
+              'retried': 0, 'timeout': 0, 'failed': 0, 'cancelled': 0,
+              'total': 24, 'elapsed_s': 12.3} | null,   # null: report-only
+      'rows': [ {digest, workload, recipe, n, b, cache_kb, ..., status,
                  refs, misses, miss_ratio, modeled_s, base_*, speedup,
                  fingerprint, ...}, ... ],
-      "summary": {"cells", "ok", "failed", "speedup": {quantiles},
-                  "miss_ratio": {quantiles}, "by_workload": {...}},
-      "sensitivity": {"b": {"metric", "levels", "best_level",
-                            "comparisons", "mean_effect", "max_effect"}, ...},
-      "best_blocking": [{"workload", "best_b", "best_mean", "per_b"}, ...]
+      'summary': {'cells', 'ok', 'failed', 'speedup': {quantiles},
+                  'miss_ratio': {quantiles}, 'by_workload': {...}},
+      'sensitivity': {'b': {'metric', 'levels', 'best_level',
+                            'comparisons', 'mean_effect', 'max_effect'}, ...},
+      'best_blocking': [{'workload', 'best_b', 'best_mean', 'per_b'}, ...]
     }
 
 ``validate_report`` returns a list of problems (empty = valid) — the
 idiom shared with ``repro.obs``/``repro.check``/``repro.serve``; the
 ``matrix-smoke`` CI job runs it over a real sweep, and the CLI validates
-before writing.
+before writing.  Reports are written enveloped (see
+:mod:`repro.artifacts`).
 """
 
 from __future__ import annotations
 
-import json
 from typing import Mapping, Optional, Sequence
 
+from repro.artifacts import publish
+from repro.artifacts.flatten import QUANT_FIELDS, Sink
+from repro.artifacts.registry import MATRIX_REPORT as SCHEMA
 from repro.matrix.analysis import (
     FACTOR_COLUMNS,
     OK_STATUSES,
@@ -39,8 +42,6 @@ from repro.matrix.analysis import (
     summarize,
     varied_factors,
 )
-
-SCHEMA = "repro.matrix/1"
 
 #: every terminal status a row may carry (pool statuses)
 ROW_STATUSES = ("hit", "computed", "retried", "timeout", "failed", "cancelled")
@@ -84,12 +85,11 @@ def build_report(
 
 
 def validate_report(doc: dict) -> list[str]:
-    """Problems with a ``repro.matrix/1`` document (empty = valid)."""
+    """Problems with a matrix-report payload (empty = valid) — the
+    registered payload check for :data:`SCHEMA`."""
     errors: list[str] = []
     if not isinstance(doc, dict):
         return ["document is not an object"]
-    if doc.get("schema") != SCHEMA:
-        errors.append(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
     if not isinstance(doc.get("meta"), dict):
         errors.append("missing or non-object field 'meta'")
     if not isinstance(doc.get("rows"), list):
@@ -213,7 +213,32 @@ def render(doc: dict) -> str:
     return "\n".join(out)
 
 
-def write_report(path: str, doc: dict) -> None:
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=2)
-        fh.write("\n")
+def flatten_report(doc: dict) -> dict:
+    """Flat perf metrics for a matrix-report payload — the registered
+    perf ingestion hook for :data:`SCHEMA`."""
+    sink = Sink()
+    run = doc.get("run") or {}
+    for field in ("elapsed_s", "total", "skipped", "hit", "computed", "failed"):
+        sink.put(f"run.{field}", run.get(field))
+    summary = doc.get("summary") or {}
+    for field in ("cells", "ok", "failed"):
+        sink.put(f"summary.{field}", summary.get(field))
+    for metric in ("speedup", "miss_ratio"):
+        sink.put_summary(f"summary.{metric}", summary.get(metric), QUANT_FIELDS)
+    for row in doc.get("rows") or []:
+        if not isinstance(row, dict) or row.get("status") == "skipped":
+            continue
+        label = (
+            f"cell:{row.get('workload', '?')}:{row.get('recipe', '?')}"
+            f":n{row.get('n')}:b{row.get('b')}"
+        )
+        for field in ("modeled_s", "speedup", "miss_ratio", "wall_s"):
+            sink.put(f"{label}.{field}", row.get(field))
+    return sink.metrics
+
+
+def write_report(path: str, doc: dict, store=None, request=None) -> dict:
+    """Envelope and write a matrix report (validated on the way out);
+    optionally lands it in the store sink.  Returns the envelope."""
+    return publish(path, doc, producer=__package__, store=store,
+                   request=request)

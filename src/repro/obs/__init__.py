@@ -1,4 +1,4 @@
-"""repro.obs — stack-wide tracing, metrics, and loop-level miss attribution.
+"""Stack-wide tracing, metrics, and loop-level miss attribution (``repro.obs``).
 
 Zero-dependency observability for the whole reproduction stack:
 

@@ -16,9 +16,14 @@ Examples::
 
 The Chrome trace loads directly in Perfetto (https://ui.perfetto.dev →
 "Open trace file"); the metrics JSON follows the ``repro.obs/1`` schema
-(:mod:`repro.obs.export`) and is validated before it is written.  Exit
-status: 0 on success, 1 when the emitted metrics fail validation, 2 for
-usage errors.
+(:mod:`repro.obs.export`) and is written enveloped and validated.  With
+``--store`` the enveloped profile also lands in the content-addressed
+artifact store under a request pointer (workload, passes, sizes, scale,
+seed), and a repeated profiling request resumes from the stored
+artifact instead of re-running the pipeline and simulator (``--fresh``
+forces a re-run; ``--chrome-trace`` always runs — traces are not
+stored).  Exit status: 0 on success, 1 when the emitted metrics fail
+validation, 2 for usage errors.
 """
 
 from __future__ import annotations
@@ -81,6 +86,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the repro.obs/1 metrics JSON here",
     )
     p.add_argument("--list", action="store_true", help="list workloads and exit")
+    p.add_argument(
+        "--store", action="store_true",
+        help="publish the metrics profile to the content-addressed "
+        "artifact store and resume from it on a repeat run",
+    )
+    p.add_argument(
+        "--store-dir", metavar="DIR",
+        help="store root for --store (default .repro-cache/ or "
+        "$REPRO_CACHE_DIR)",
+    )
+    p.add_argument(
+        "--fresh", action="store_true",
+        help="with --store: ignore a stored profile, re-profile",
+    )
     return p
 
 
@@ -108,7 +127,7 @@ def render_profile(
     """The text profile printed by the CLI (pure function, for tests)."""
     attribution = tracer.attribution
     stats = tracer.stats
-    lines = [f"repro.obs profile — {workload_name}  [{machine.describe()}]"]
+    lines = [f"{__package__} profile — {workload_name}  [{machine.describe()}]"]
 
     lines.append("\npasses (by wall time):")
     spans = sorted(result.spans, key=lambda s: -s.wall_s)[:top]
@@ -186,6 +205,27 @@ def main(argv: Optional[list] = None) -> int:
         print(f"error: {e}", file=sys.stderr)
         return 2
 
+    store = None
+    request = None
+    if args.store:
+        from repro.artifacts import get_for_request, write_file
+        from repro.artifacts.registry import OBS_METRICS
+        from repro.serve.store import ArtifactStore
+
+        store = ArtifactStore(args.store_dir)
+        request = ("obs-profile", workload.name, args.passes or "",
+                   tuple(sorted(sizes.items())), args.scale, args.seed)
+        if not args.fresh and not args.chrome_trace:
+            env = get_for_request(store, OBS_METRICS, request)
+            if env is not None:
+                if args.metrics:
+                    write_file(args.metrics, env)
+                print(f"profile resumed from store ({env['digest'][:12]}); "
+                      "use --fresh to re-profile")
+                if args.metrics:
+                    print(f"metrics written to {args.metrics}")
+                return 0
+
     obs_obj = obs_core.Obs()
     try:
         with obs_core.enabled(obs_obj):
@@ -204,7 +244,7 @@ def main(argv: Optional[list] = None) -> int:
         export.write_json(args.chrome_trace, export.chrome_trace(obs_obj))
         print(f"\nchrome trace written to {args.chrome_trace} "
               "(open at https://ui.perfetto.dev)")
-    if args.metrics:
+    if args.metrics or store is not None:
         doc = export.metrics(
             obs_obj,
             meta={"workload": workload.name, "machine": machine.name,
@@ -215,8 +255,15 @@ def main(argv: Optional[list] = None) -> int:
             machine_tlb=tracer.tlb_stats,
         )
         errors = export.validate_metrics(doc)
-        export.write_json(args.metrics, doc)
-        print(f"metrics written to {args.metrics}")
+        # an invalid profile is still written for offline inspection, but
+        # never published to the store
+        export.write_metrics(args.metrics, doc,
+                             store=store if not errors else None,
+                             request=request, validate=False)
+        if args.metrics:
+            print(f"metrics written to {args.metrics}")
+        if store is not None and not errors:
+            print("profile published to the artifact store")
         if errors:
             for err in errors:
                 print(f"METRICS INVALID: {err}", file=sys.stderr)

@@ -5,33 +5,37 @@ Two artifact formats come out of an observed run:
 - :func:`chrome_trace` — the Chrome trace-event format (complete ``"X"``
   events), loadable directly in Perfetto (https://ui.perfetto.dev → "Open
   trace file") or ``chrome://tracing``;
-- :func:`metrics` — the ``repro.obs/1`` schema below, the machine-readable
-  profile that BENCH artifacts and CI validate.
+- :func:`metrics` — the ``repro.obs/1`` payload schema below, the
+  machine-readable profile that BENCH artifacts and CI validate
+  (written enveloped by :func:`write_metrics` — see
+  :mod:`repro.artifacts`).
 
 .. code-block:: text
 
     {
-      "schema": "repro.obs/1",
-      "meta": {"workload": "lu_nopivot", ...},        # free-form strings
-      "counters": {"dependence.queries": 41, ...},
-      "histograms": {"fm.feasible.latency_s":
-                     {"count", "total", "min", "max", "mean",
-                      "p50", "p95", "p99"}, ...},
-      "spans": {"pass:block": {"count", "total_s", "max_s"}, ...},
-      "analysis_cache": {"dependence": {"hits","misses","entries",
-                                        "hit_rate"}, ...},
-      "machine": {"cache": CacheStats dict | null, "tlb": ... | null},
-      "attribution": {"rows": [{"loop","statement","array","accesses",
-                                "misses","writebacks","tlb_misses",
-                                "writes"}, ...],
-                      "by_loop": {...}, "by_statement": {...},
-                      "by_array": {...}, "totals": {...}} | null
+      'schema': 'repro.obs/1',
+      'meta': {'workload': 'lu_nopivot', ...},        # free-form strings
+      'counters': {'dependence.queries': 41, ...},
+      'histograms': {'fm.feasible.latency_s':
+                     {'count', 'total', 'min', 'max', 'mean',
+                      'p50', 'p95', 'p99'}, ...},
+      'spans': {'pass:block': {'count', 'total_s', 'max_s'}, ...},
+      'analysis_cache': {'dependence': {'hits','misses','entries',
+                                        'hit_rate'}, ...},
+      'machine': {'cache': CacheStats dict | null, 'tlb': ... | null},
+      'attribution': {'rows': [{'loop','statement','array','accesses',
+                                'misses','writebacks','tlb_misses',
+                                'writes'}, ...],
+                      'by_loop': {...}, 'by_statement': {...},
+                      'by_array': {...}, 'totals': {...}} | null
     }
 
-:func:`validate_metrics` checks a document against that shape and — the
+:func:`validate_metrics` checks a payload against that shape and — the
 load-bearing invariant — that the attribution views each sum exactly to
 the attribution totals, and that those totals match the machine-level
-``CacheStats`` when both are present.
+``CacheStats`` when both are present.  Schema *identity* (right name,
+right version, digest) is the envelope layer's job:
+:func:`repro.artifacts.validate.validate_document`.
 """
 
 from __future__ import annotations
@@ -39,9 +43,10 @@ from __future__ import annotations
 import json
 from typing import Optional
 
+from repro.artifacts import publish
+from repro.artifacts.flatten import HIST_FIELDS, Sink, cache_stats
+from repro.artifacts.registry import OBS_METRICS as SCHEMA
 from repro.obs.core import Obs
-
-SCHEMA = "repro.obs/1"
 
 _ATTR_FIELDS = ("accesses", "misses", "writebacks", "tlb_misses", "writes")
 
@@ -122,13 +127,11 @@ def _sum_view(view: dict, field: str) -> int:
 
 
 def validate_metrics(doc: dict) -> list[str]:
-    """Validate a ``repro.obs/1`` document; returns a list of problems
-    (empty = valid)."""
+    """Validate a metrics payload; returns a list of problems (empty =
+    valid) — the registered payload check for :data:`SCHEMA`."""
     errors: list[str] = []
     if not isinstance(doc, dict):
         return ["document is not an object"]
-    if doc.get("schema") != SCHEMA:
-        errors.append(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
     for key in ("meta", "counters", "histograms", "spans", "analysis_cache", "machine"):
         if not isinstance(doc.get(key), dict):
             errors.append(f"missing or non-object field {key!r}")
@@ -190,7 +193,36 @@ def validate_metrics(doc: dict) -> list[str]:
     return errors
 
 
+def flatten_metrics(doc: dict) -> dict:
+    """Flat perf metrics for a metrics payload — the registered perf
+    ingestion hook for :data:`SCHEMA`."""
+    sink = Sink()
+    for name, value in sorted((doc.get("counters") or {}).items()):
+        sink.put(f"counter:{name}", value)
+    for name, h in sorted((doc.get("histograms") or {}).items()):
+        sink.put_summary(f"hist:{name}", h, HIST_FIELDS)
+    for name, s in sorted((doc.get("spans") or {}).items()):
+        sink.put_summary(f"span:{name}", s, ("total_s", "count", "max_s"))
+    cache_stats(sink, doc.get("analysis_cache"))
+    machine = doc.get("machine") or {}
+    for level in ("cache", "tlb"):
+        stats = machine.get(level)
+        if isinstance(stats, dict):
+            for field, value in sorted(stats.items()):
+                sink.put(f"machine.{level}.{field}", value)
+    return sink.metrics
+
+
+def write_metrics(path: Optional[str], doc: dict, store=None,
+                  request=None, validate: bool = True) -> dict:
+    """Envelope and write a metrics artifact (validated on the way
+    out); optionally lands it in the store sink.  Returns the envelope."""
+    return publish(path, doc, producer=__package__, store=store,
+                   request=request, validate=validate)
+
+
 def write_json(path: str, doc: dict) -> None:
+    """Plain JSON writer — Chrome traces and other non-artifact dumps."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2)
         fh.write("\n")

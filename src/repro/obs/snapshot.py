@@ -26,11 +26,11 @@ distinct value — a multi-process run becomes a multi-process trace.
 Schema (``repro.obs.snapshot/1``)::
 
     {
-      "schema": "repro.obs.snapshot/1",
-      "counters": {"dependence.queries": 41, ...},
-      "histograms": {"fm.feasible.latency_s": {count,total,min,max,
+      'schema': 'repro.obs.snapshot/1',
+      'counters': {'dependence.queries': 41, ...},
+      'histograms': {'fm.feasible.latency_s': {count,total,min,max,
                                                quantiles:[P² state]}, ...},
-      "spans": [{"name","cat","ts","dur","depth","args","lane"}, ...]
+      'spans': [{'name','cat','ts','dur','depth','args','lane'}, ...]
     }
 """
 
@@ -39,9 +39,8 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from repro.artifacts.registry import OBS_SNAPSHOT as SCHEMA
 from repro.obs.core import Histogram, Obs, SpanEvent
-
-SCHEMA = "repro.obs.snapshot/1"
 
 
 def snapshot(obs: Obs) -> dict:
@@ -120,6 +119,28 @@ def _span(entry: dict) -> SpanEvent:
         args=dict(entry.get("args") or {}),
         lane=entry.get("lane"),
     )
+
+
+def validate_snapshot(doc: dict) -> list:
+    """Problems with a snapshot payload (empty list = valid) — the
+    registered payload check for :data:`SCHEMA`."""
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    problems = []
+    for field, typ in (
+        ("counters", dict), ("histograms", dict), ("spans", list),
+    ):
+        if not isinstance(doc.get(field), typ):
+            problems.append(f"{field} missing or not a {typ.__name__}")
+    if isinstance(doc.get("spans"), list):
+        for i, entry in enumerate(doc["spans"]):
+            if not isinstance(entry, dict):
+                problems.append(f"spans[{i}] is not an object")
+                continue
+            missing = {"name", "ts", "dur", "depth"} - set(entry)
+            if missing:
+                problems.append(f"spans[{i}] missing {sorted(missing)}")
+    return problems
 
 
 def _require(doc: dict) -> None:

@@ -1,9 +1,10 @@
-"""repro.perf — the cross-run performance timeline.
+"""The cross-run performance timeline (``repro.perf``).
 
 Everything else in this repo observes **one run**: a pipeline trace, an
 obs profile, a serve report, a matrix sweep.  This package is the axis
-those artifacts were missing — *time across runs*.  Any supported
-artifact flattens (:mod:`repro.perf.ingest`) into named numeric metrics,
+those artifacts were missing — *time across runs*.  Any registered
+artifact kind with a ``flatten`` hook (:mod:`repro.artifacts.kinds`)
+flattens (:mod:`repro.perf.ingest`) into named numeric metrics,
 lands in a sqlite history (:mod:`repro.perf.db` — ``perf.db`` next to
 the artifact store), and can then be diffed, trended, and **gated**
 (:mod:`repro.perf.gate`): compared against a recorded run or a committed
@@ -32,7 +33,6 @@ from repro.perf.gate import (
     read_baseline,
 )
 from repro.perf.ingest import (
-    FLATTENERS,
     artifact_digest,
     detect_schema,
     flatten,
@@ -51,7 +51,6 @@ __all__ = [
     "compare",
     "diff",
     "read_baseline",
-    "FLATTENERS",
     "artifact_digest",
     "detect_schema",
     "flatten",

@@ -288,9 +288,9 @@ def _cmd_gate(args) -> int:
             db.record(doc, label=args.label, source=args.artifact,
                       git_sha=_git_sha())
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as fh:
-            json.dump(result, fh, indent=2)
-            fh.write("\n")
+        from repro.artifacts import publish
+
+        publish(args.json, result, producer=__package__)
     _print_gate(result)
     return result["exit_code"]
 

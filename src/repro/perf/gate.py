@@ -30,24 +30,25 @@ Exit-code contract (the CI interface; tested in ``tests/perf``)::
     3   no-baseline  baseline missing, or no tracked metric had one
 
 Baselines come from a recorded run (``--baseline SELECTOR``) or from a
-committed **baseline file** (``--baseline-file``), schema
-``repro.perf.baseline/1``::
+committed **baseline file** (``--baseline-file``), payload schema
+``repro.perf.baseline/1`` (written enveloped — see
+:mod:`repro.artifacts`; bare pre-envelope files still load)::
 
-    {"schema": "repro.perf.baseline/1",
-     "meta": {...},
-     "metrics": {"pass:block.ir_size_after": 154.0, ...}}
+    {'schema': 'repro.perf.baseline/1',
+     'meta': {...},
+     'metrics': {'pass:block.ir_size_after': 154.0, ...}}
 """
 
 from __future__ import annotations
 
-import json
 from fnmatch import fnmatchcase
 from typing import Optional, Sequence
 
-from repro.errors import PerfError
-
-SCHEMA = "repro.perf.gate/1"
-BASELINE_SCHEMA = "repro.perf.baseline/1"
+from repro.artifacts import load_file, payload_of, publish, schema_id_of
+from repro.artifacts.flatten import Sink
+from repro.artifacts.registry import PERF_BASELINE as BASELINE_SCHEMA
+from repro.artifacts.registry import PERF_GATE as SCHEMA
+from repro.errors import ArtifactError, PerfError
 
 EXIT_OK = 0
 EXIT_REGRESSED = 1
@@ -177,15 +178,13 @@ def baseline_doc(metrics: dict, meta: Optional[dict] = None) -> dict:
 
 
 def read_baseline(path: str) -> dict:
-    """Load a baseline file; returns its ``{name: value}`` metrics."""
+    """Load a baseline file (enveloped or legacy bare); returns its
+    ``{name: value}`` metrics."""
     try:
-        with open(path, encoding="utf-8") as fh:
-            doc = json.load(fh)
-    except OSError as e:
-        raise PerfError(f"cannot read baseline {path!r}: {e}") from e
-    except json.JSONDecodeError as e:
-        raise PerfError(f"baseline {path!r} is not valid JSON: {e}") from e
-    if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+        doc = payload_of(load_file(path))
+    except ArtifactError as e:
+        raise PerfError(str(e)) from e
+    if schema_id_of(doc) != BASELINE_SCHEMA:
         raise PerfError(
             f"baseline {path!r} is not a {BASELINE_SCHEMA!r} document"
         )
@@ -202,7 +201,69 @@ def read_baseline(path: str) -> dict:
     return out
 
 
-def write_baseline(path: str, doc: dict) -> None:
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=2)
-        fh.write("\n")
+def write_baseline(path: str, doc: dict) -> dict:
+    """Envelope and write a baseline file (validated on the way out)."""
+    return publish(path, doc, producer=__package__)
+
+
+# ---- registered payload checks and flatteners ------------------------------
+
+
+def validate_gate(doc: dict) -> list:
+    """Problems with a gate-verdict payload (empty list = valid) — the
+    registered payload check for :data:`SCHEMA`."""
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    problems = []
+    verdict = doc.get("verdict")
+    if verdict not in _EXIT_OF:
+        problems.append(
+            f"verdict is {verdict!r}, want one of {', '.join(_EXIT_OF)}"
+        )
+    elif doc.get("exit_code") != _EXIT_OF[verdict]:
+        problems.append(
+            f"exit_code is {doc.get('exit_code')!r}, want "
+            f"{_EXIT_OF[verdict]} for verdict {verdict!r}"
+        )
+    rows = doc.get("rows")
+    if not isinstance(rows, list):
+        problems.append("rows missing or not a list")
+        return problems
+    counts = doc.get("counts")
+    if isinstance(counts, dict):
+        for key, want in counts.items():
+            got = sum(1 for r in rows
+                      if isinstance(r, dict) and r.get("verdict") == key)
+            if got != want:
+                problems.append(
+                    f"counts[{key!r}] is {want!r}, rows contain {got}"
+                )
+    else:
+        problems.append("counts missing or not an object")
+    return problems
+
+
+def validate_baseline(doc: dict) -> list:
+    """Problems with a baseline payload (empty list = valid) — the
+    registered payload check for :data:`BASELINE_SCHEMA`."""
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    problems = []
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("metrics missing or not an object")
+        return problems
+    for name, value in metrics.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            problems.append(f"metric {name!r} is not numeric")
+    return problems
+
+
+def flatten_baseline(doc: dict) -> dict:
+    """Flat perf metrics for a baseline payload — the registered perf
+    ingestion hook for :data:`BASELINE_SCHEMA` (a baseline *is* a flat
+    metric dict already)."""
+    sink = Sink()
+    for name, value in sorted((doc.get("metrics") or {}).items()):
+        sink.put(name, value)
+    return sink.metrics

@@ -1,13 +1,19 @@
-"""Flatten repro artifacts into ``{metric name: value}`` rows.
+"""Artifact ingestion for the run-history database — registry-backed.
 
-Every subsystem in this repo emits a self-describing JSON artifact —
-``repro.pipeline/1`` traces, ``repro.obs/1`` profiles, ``repro.serve/1``
-batch reports, ``repro.matrix/1`` sweep reports, and
-``repro.pipeline.bench/1`` benchmarks.  The run-history database stores
-none of that structure: it stores **flat numeric metrics**, because a
-timeline only needs numbers with stable names.  This module is the
-adapter: :func:`flatten` dispatches on the artifact's ``schema`` field
-and produces one dict of finite floats.
+The run-history database stores **flat numeric metrics**, because a
+timeline only needs numbers with stable names.  The per-schema
+flatteners live with their subsystems and are registered next to each
+validator in :mod:`repro.artifacts.kinds` (``flatten`` hooks); this
+module is the perf-side adapter over that registry:
+
+- :func:`load_artifact` reads a JSON artifact file (enveloped or
+  legacy bare — both forms ingest identically);
+- :func:`detect_schema` resolves the document's full schema id and
+  requires a registered kind *with* a flatten hook;
+- :func:`flatten` unwraps the envelope and runs the registered hook;
+- :func:`artifact_digest` is the run's content address — the envelope
+  digest when present, else a canonical-JSON sha256 of the whole
+  document.
 
 Naming convention (stable across runs; the gate patterns match these):
 
@@ -16,7 +22,7 @@ prefix                  meaning
 ======================  =================================================
 ``pass:<name>.*``       per-pass pipeline spans (``wall_s``,
                         ``ir_size_after``, ``ir_growth``)
-``counter:<name>``      an ``repro.obs`` counter
+``counter:<name>``      an observability counter
 ``hist:<name>.*``       histogram summary fields (mean/p50/p95/p99/...)
 ``span:<name>.*``       span aggregates (``total_s``, ``count``,
                         ``max_s``)
@@ -27,218 +33,64 @@ prefix                  meaning
 ``cell:<...>.*``        matrix cells, keyed by workload/recipe/geometry
 ======================  =================================================
 
-Duplicate names within one artifact (two pipeline spans for the same
-pass, two serve jobs with the same label) get ``#2``, ``#3``, ...
-suffixes in encounter order, so reruns of the same artifact flatten to
-the same names.  Non-numeric and non-finite values are skipped — a
-metric that is sometimes ``null`` simply has gaps in its timeline.
+Duplicate names within one artifact get ``#2``, ``#3``, ... suffixes in
+encounter order (see :class:`repro.artifacts.flatten.Sink`), so reruns
+of the same artifact flatten to the same names.  Non-numeric and
+non-finite values are skipped — a metric that is sometimes ``null``
+simply has gaps in its timeline.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import math
-from typing import Callable
-
-from repro.errors import PerfError
-
-#: histogram summary fields worth tracking over time
-_HIST_FIELDS = ("mean", "p50", "p95", "p99", "max", "count", "total")
-
-_QUANT_FIELDS = ("p25", "p50", "p75", "mean", "min", "max")
+from repro.artifacts import registry
+from repro.artifacts.envelope import (
+    is_envelope,
+    payload_digest,
+    payload_of,
+    schema_id_of,
+)
+from repro.artifacts.envelope import load_file as _load_file
+from repro.errors import ArtifactError, PerfError
 
 
 def load_artifact(path: str) -> dict:
     """Read a JSON artifact; :class:`PerfError` on unreadable/non-object."""
     try:
-        with open(path, encoding="utf-8") as fh:
-            doc = json.load(fh)
-    except OSError as e:
-        raise PerfError(f"cannot read artifact {path!r}: {e}") from e
-    except json.JSONDecodeError as e:
-        raise PerfError(f"artifact {path!r} is not valid JSON: {e}") from e
-    if not isinstance(doc, dict):
-        raise PerfError(f"artifact {path!r} is not a JSON object")
-    return doc
+        return _load_file(path)
+    except ArtifactError as e:
+        raise PerfError(str(e)) from e
 
 
 def detect_schema(doc: dict) -> str:
-    """The artifact's schema id; :class:`PerfError` when unsupported."""
-    schema = doc.get("schema")
-    if schema not in FLATTENERS:
-        known = ", ".join(sorted(FLATTENERS))
-        raise PerfError(
-            f"unsupported artifact schema {schema!r} (known: {known})"
+    """The artifact's full schema id; :class:`PerfError` when the schema
+    is unregistered or has no flatten hook (nothing numeric to ingest)."""
+    schema_id = schema_id_of(doc)
+    kind = registry.lookup(schema_id)
+    if kind is None:
+        known = ", ".join(
+            k for k in registry.known_ids()
+            if registry.get(k).flatten is not None
         )
-    return schema
+        raise PerfError(
+            f"unsupported artifact schema {schema_id!r} (known: {known})"
+        )
+    if kind.flatten is None:
+        raise PerfError(
+            f"artifact schema {schema_id!r} registers no flatten hook; "
+            "nothing to ingest"
+        )
+    return schema_id
 
 
 def artifact_digest(doc: dict) -> str:
-    """sha256 of the canonical JSON text — the run's content address."""
-    text = json.dumps(doc, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+    """The run's content address: the envelope digest when present, else
+    sha256 of the canonical JSON text of the whole document."""
+    if is_envelope(doc) and isinstance(doc.get("digest"), str):
+        return doc["digest"]
+    return payload_digest(doc)
 
 
 def flatten(doc: dict) -> dict:
-    """``{metric name: float}`` for any supported artifact."""
-    return FLATTENERS[detect_schema(doc)](doc)
-
-
-# ---- helpers ---------------------------------------------------------------
-
-
-class _Sink:
-    """Collects metrics, skipping junk and de-duplicating names."""
-
-    def __init__(self) -> None:
-        self.metrics: dict = {}
-        self._seen: dict = {}
-
-    def put(self, name: str, value) -> None:
-        if isinstance(value, bool) or not isinstance(value, (int, float)):
-            return
-        if not math.isfinite(value):
-            return
-        n = self._seen.get(name, 0) + 1
-        self._seen[name] = n
-        if n > 1:
-            name = f"{name}#{n}"
-        self.metrics[name] = float(value)
-
-    def put_summary(self, prefix: str, summary, fields) -> None:
-        if not isinstance(summary, dict):
-            return
-        for field in fields:
-            if field in summary:
-                self.put(f"{prefix}.{field}", summary[field])
-
-
-def _cache_stats(sink: _Sink, cache) -> None:
-    if not isinstance(cache, dict):
-        return
-    for region, stats in sorted(cache.items()):
-        if not isinstance(stats, dict):
-            continue
-        for field in ("hits", "misses", "hit_rate"):
-            if field in stats:
-                sink.put(f"analysis_cache.{region}.{field}", stats[field])
-
-
-# ---- per-schema flatteners -------------------------------------------------
-
-
-def _flatten_pipeline(doc: dict) -> dict:
-    sink = _Sink()
-    sink.put("elapsed_s", doc.get("elapsed_s"))
-    spans = doc.get("spans")
-    if not isinstance(spans, list):
-        spans = []
-    else:
-        sink.put("passes.count", len(spans))
-    for span in spans:
-        if not isinstance(span, dict):
-            continue
-        name = span.get("pass", "?")
-        sink.put(f"pass:{name}.wall_s", span.get("wall_s"))
-        sink.put(f"pass:{name}.ir_size_after", span.get("ir_size_after"))
-        before, after = span.get("ir_size_before"), span.get("ir_size_after")
-        if isinstance(before, (int, float)) and isinstance(after, (int, float)):
-            sink.put(f"pass:{name}.ir_growth", after - before)
-    _cache_stats(sink, doc.get("cache"))
-    return sink.metrics
-
-
-def _flatten_obs(doc: dict) -> dict:
-    sink = _Sink()
-    for name, value in sorted((doc.get("counters") or {}).items()):
-        sink.put(f"counter:{name}", value)
-    for name, h in sorted((doc.get("histograms") or {}).items()):
-        sink.put_summary(f"hist:{name}", h, _HIST_FIELDS)
-    for name, s in sorted((doc.get("spans") or {}).items()):
-        sink.put_summary(f"span:{name}", s, ("total_s", "count", "max_s"))
-    _cache_stats(sink, doc.get("analysis_cache"))
-    machine = doc.get("machine") or {}
-    for level in ("cache", "tlb"):
-        stats = machine.get(level)
-        if isinstance(stats, dict):
-            for field, value in sorted(stats.items()):
-                sink.put(f"machine.{level}.{field}", value)
-    return sink.metrics
-
-
-def _flatten_serve(doc: dict) -> dict:
-    sink = _Sink()
-    sink.put("elapsed_s", doc.get("elapsed_s"))
-    for status, count in sorted((doc.get("summary") or {}).items()):
-        sink.put(f"jobs.{status}", count)
-    pool = doc.get("pool") or {}
-    for field in ("busy_s", "utilization", "respawns", "coalesced"):
-        sink.put(f"pool.{field}", pool.get(field))
-    for key, h in sorted((doc.get("latency") or {}).items()):
-        sink.put_summary(f"latency.{key}", h, _HIST_FIELDS)
-    for job in doc.get("jobs") or []:
-        if not isinstance(job, dict):
-            continue
-        label = job.get("label", "?")
-        sink.put(f"job:{label}.wall_s", job.get("wall_s"))
-        sink.put(f"job:{label}.queue_wait_s", job.get("queue_wait_s"))
-    return sink.metrics
-
-
-def _flatten_matrix(doc: dict) -> dict:
-    sink = _Sink()
-    run = doc.get("run") or {}
-    for field in ("elapsed_s", "total", "skipped", "hit", "computed", "failed"):
-        sink.put(f"run.{field}", run.get(field))
-    summary = doc.get("summary") or {}
-    for field in ("cells", "ok", "failed"):
-        sink.put(f"summary.{field}", summary.get(field))
-    for metric in ("speedup", "miss_ratio"):
-        sink.put_summary(f"summary.{metric}", summary.get(metric), _QUANT_FIELDS)
-    for row in doc.get("rows") or []:
-        if not isinstance(row, dict) or row.get("status") == "skipped":
-            continue
-        label = (
-            f"cell:{row.get('workload', '?')}:{row.get('recipe', '?')}"
-            f":n{row.get('n')}:b{row.get('b')}"
-        )
-        for field in ("modeled_s", "speedup", "miss_ratio", "wall_s"):
-            sink.put(f"{label}.{field}", row.get(field))
-    return sink.metrics
-
-
-def _flatten_bench(doc: dict) -> dict:
-    sink = _Sink()
-    workloads = doc.get("workloads") or {}
-    if doc.get("mode") == "pool":
-        sink.put("elapsed_s", doc.get("elapsed_s"))
-        for label, data in sorted(workloads.items()):
-            if not isinstance(data, dict):
-                continue
-            sink.put(f"bench:{label}.wall_s", data.get("wall_s"))
-            sink.put(f"bench:{label}.pass_executions",
-                     data.get("pass_executions"))
-        pool = doc.get("pool") or {}
-        sink.put("pool.busy_s", pool.get("busy_s"))
-    else:
-        for label, data in sorted(workloads.items()):
-            if not isinstance(data, dict):
-                continue
-            cold = data.get("cold") or {}
-            warm = data.get("warm") or {}
-            sink.put(f"bench:{label}.cold_s", cold.get("elapsed_s"))
-            sink.put(f"bench:{label}.warm_s", warm.get("elapsed_s"))
-            sink.put(f"bench:{label}.warm_speedup", data.get("warm_speedup"))
-        _cache_stats(sink, doc.get("cache"))
-    return sink.metrics
-
-
-#: schema id -> flattener; the single registry :func:`flatten` dispatches on
-FLATTENERS: dict[str, Callable[[dict], dict]] = {
-    "repro.pipeline/1": _flatten_pipeline,
-    "repro.obs/1": _flatten_obs,
-    "repro.serve/1": _flatten_serve,
-    "repro.matrix/1": _flatten_matrix,
-    "repro.pipeline.bench/1": _flatten_bench,
-}
+    """``{metric name: float}`` for any registered artifact kind,
+    enveloped or bare."""
+    return registry.get(detect_schema(doc)).flatten(payload_of(doc))

@@ -1,4 +1,4 @@
-"""repro.pipeline — the instrumented, cached pass-pipeline subsystem.
+"""The instrumented, cached pass-pipeline subsystem (``repro.pipeline``).
 
 Sits between :mod:`repro.transform` (the individual source-to-source
 transformations) and :mod:`repro.blockability` / :mod:`repro.bench` (the

@@ -22,45 +22,50 @@ meaningfully):
 profile of the same run, so the BENCH artifact carries its own
 explanation.
 
-Classic schema (``"mode": "inprocess"``)::
+Classic payload schema (``'mode': 'inprocess'``; written enveloped —
+see :mod:`repro.artifacts`)::
 
     {
-      "schema": "repro.pipeline.bench/1",
-      "mode": "inprocess",
-      "workloads": {
-        "<label>": {
-          "workload": "lu_nopivot",
-          "passes": ["block", ...],
-          "cold": {"elapsed_s": f, "spans": [{"pass","status","wall_s","cached"}]},
-          "warm": {...same shape, spans mostly cached...},
-          "warm_speedup": f
+      'schema': 'repro.pipeline.bench/1',
+      'mode': 'inprocess',
+      'workloads': {
+        '<label>': {
+          'workload': 'lu_nopivot',
+          'passes': ['block', ...],
+          'cold': {'elapsed_s': f, 'spans': [{'pass','status','wall_s','cached'}]},
+          'warm': {...same shape, spans mostly cached...},
+          'warm_speedup': f
         }, ...
       },
-      "cache": { "<region>": {"hits","misses","entries","evictions",
-                              "hit_rate"}, ... }
+      'cache': { '<region>': {'hits','misses','entries','evictions',
+                              'hit_rate'}, ... }
     }
 
-Pool schema (``"mode": "pool"``) replaces ``cold``/``warm`` with the
-job outcome — ``status`` (``hit|computed|retried|...``), ``wall_s``,
-``worker``, ``pass_executions`` (0 on a store hit), ``fingerprint``,
-``ir_sha256`` — and reports ``pool`` and ``store`` statistics instead
-of the in-process ``cache`` block.
+Pool payload schema (``'mode': 'pool'``) replaces ``cold``/``warm``
+with the job outcome — ``status`` (``hit|computed|retried|...``),
+``wall_s``, ``worker``, ``pass_executions`` (0 on a store hit),
+``fingerprint``, ``ir_sha256`` — and reports ``pool`` and ``store``
+statistics instead of the in-process ``cache`` block.
 """
 
 from __future__ import annotations
 
 import argparse
 import hashlib
-import json
 import sys
 import time
 from typing import Optional
 
+from repro.artifacts import publish
+from repro.artifacts.flatten import Sink, cache_stats
+from repro.artifacts.registry import PIPELINE_BENCH as SCHEMA
 from repro.errors import CheckError
 from repro.obs import core as obs_core
 from repro.obs import export as obs_export
 from repro.pipeline import derive
 from repro.pipeline.cache import AnalysisCache
+
+_MODES = ("inprocess", "pool")
 
 #: what to measure: (label, workload, pass list or None for the default
 #: pipeline, run under the repro.check gate).  Labels key the JSON.
@@ -115,7 +120,7 @@ def run_bench(check: bool = False) -> dict:
             else None,
         }
     return {
-        "schema": "repro.pipeline.bench/1",
+        "schema": SCHEMA,
         "mode": "inprocess",
         "workloads": workloads,
         "cache": cache.stats(),
@@ -171,7 +176,7 @@ def run_bench_pool(
                 ),
             }
         return {
-            "schema": "repro.pipeline.bench/1",
+            "schema": SCHEMA,
             "mode": "pool",
             "jobs": jobs,
             "workloads": workloads,
@@ -183,6 +188,68 @@ def run_bench_pool(
             ),
             "elapsed_s": round(elapsed, 4),
         }
+
+
+def validate_bench(bench: dict) -> list:
+    """Problems with a bench payload (empty list = valid) — the
+    registered payload check for :data:`SCHEMA`."""
+    problems = []
+    mode = bench.get("mode")
+    if mode not in _MODES:
+        problems.append(f"mode is {mode!r}, want one of {', '.join(_MODES)}")
+    workloads = bench.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        problems.append("workloads missing, not an object, or empty")
+        return problems
+    for label, data in workloads.items():
+        if not isinstance(data, dict):
+            problems.append(f"workloads[{label!r}] is not an object")
+            continue
+        if mode == "pool":
+            if not isinstance(data.get("status"), str):
+                problems.append(f"workloads[{label!r}].status missing")
+        elif mode == "inprocess":
+            for leg in ("cold", "warm"):
+                run = data.get(leg)
+                if not isinstance(run, dict) or not isinstance(
+                    run.get("elapsed_s"), (int, float)
+                ):
+                    problems.append(
+                        f"workloads[{label!r}].{leg} missing elapsed_s"
+                    )
+    if mode == "inprocess" and not isinstance(bench.get("cache"), dict):
+        problems.append("cache block missing for an inprocess bench")
+    if mode == "pool" and not isinstance(bench.get("pool"), dict):
+        problems.append("pool block missing for a pool bench")
+    return problems
+
+
+def flatten_bench(bench: dict) -> dict:
+    """Flat perf metrics for a bench payload — the registered perf
+    ingestion hook for :data:`SCHEMA`."""
+    sink = Sink()
+    workloads = bench.get("workloads") or {}
+    if bench.get("mode") == "pool":
+        sink.put("elapsed_s", bench.get("elapsed_s"))
+        for label, data in sorted(workloads.items()):
+            if not isinstance(data, dict):
+                continue
+            sink.put(f"bench:{label}.wall_s", data.get("wall_s"))
+            sink.put(f"bench:{label}.pass_executions",
+                     data.get("pass_executions"))
+        pool = bench.get("pool") or {}
+        sink.put("pool.busy_s", pool.get("busy_s"))
+    else:
+        for label, data in sorted(workloads.items()):
+            if not isinstance(data, dict):
+                continue
+            cold = data.get("cold") or {}
+            warm = data.get("warm") or {}
+            sink.put(f"bench:{label}.cold_s", cold.get("elapsed_s"))
+            sink.put(f"bench:{label}.warm_s", warm.get("elapsed_s"))
+            sink.put(f"bench:{label}.warm_speedup", data.get("warm_speedup"))
+        cache_stats(sink, bench.get("cache"))
+    return sink.metrics
 
 
 def _print_classic(bench: dict) -> None:
@@ -285,11 +352,11 @@ def main(argv: Optional[list] = None) -> int:
             with obs_core.enabled() as o:
                 bench = compute()
             if args.obs:
-                obs_export.write_json(
+                obs_export.write_metrics(
                     args.obs,
                     obs_export.metrics(
                         o,
-                        meta={"tool": "repro.pipeline.bench"},
+                        meta={"tool": f"{__package__}.bench"},
                         analysis_cache=bench.get("cache"),
                     ),
                 )
@@ -302,9 +369,12 @@ def main(argv: Optional[list] = None) -> int:
         for d in e.diagnostics:
             print(f"  {d.pretty()}", file=sys.stderr)
         return 1
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(bench, fh, indent=2)
-        fh.write("\n")
+    store = None
+    if bench["mode"] == "pool" and bench["store"].get("enabled"):
+        from repro.serve.store import ArtifactStore
+
+        store = ArtifactStore(args.store_dir)
+    publish(path, bench, producer=f"{__package__}.bench", store=store)
     if bench["mode"] == "pool":
         _print_pool(bench)
     else:

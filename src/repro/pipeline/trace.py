@@ -1,34 +1,35 @@
 """Structured JSON traces of pipeline runs.
 
-Schema (version 1) — the README documents this too:
+Payload schema (version 1; written enveloped — see
+:mod:`repro.artifacts`) — the README documents this too:
 
 .. code-block:: text
 
     {
-      "schema": "repro.pipeline/1",
-      "algorithm": "lu_nopivot",          # workload name ("" for ad hoc)
-      "procedure": "lu_point",            # input Procedure.name
-      "passes": ["split", "block", "jam"],
-      "spans": [
+      'schema': 'repro.pipeline/1',
+      'algorithm': 'lu_nopivot',          # workload name ('' for ad hoc)
+      'procedure': 'lu_point',            # input Procedure.name
+      'passes': ['split', 'block', 'jam'],
+      'spans': [
         {
-          "index": 0,
-          "pass": "block",
-          "status": "applied",            # applied|noop|infeasible|error
-          "wall_s": 1.32,
-          "cached": false,
-          "input_fingerprint": "ba77...", # sha256 of the input IR
-          "output_fingerprint": "19c2...",
-          "ir_size_before": 50,
-          "ir_size_after": 154,
-          "detail": {...},                # pass-specific, JSON only
-          "verify": {...} | null,         # differential-check summary
-          "error": null | "message",
-          "snapshot": null | "DO K = ..." # pretty IR when requested
+          'index': 0,
+          'pass': 'block',
+          'status': 'applied',            # applied|noop|infeasible|error
+          'wall_s': 1.32,
+          'cached': false,
+          'input_fingerprint': 'ba77...', # sha256 of the input IR
+          'output_fingerprint': '19c2...',
+          'ir_size_before': 50,
+          'ir_size_after': 154,
+          'detail': {...},                # pass-specific, JSON only
+          'verify': {...} | null,         # differential-check summary
+          'error': null | 'message',
+          'snapshot': null | 'DO K = ...' # pretty IR when requested
         }, ...
       ],
-      "cache": {"dependence": {"hits": n, "misses": m, ...}, ...},
-      "verify_enabled": true,
-      "elapsed_s": 1.35
+      'cache': {'dependence': {'hits': n, 'misses': m, ...}, ...},
+      'verify_enabled': true,
+      'elapsed_s': 1.35
     }
 
 One span per pass *attempted* — infeasible and errored passes get spans
@@ -37,13 +38,16 @@ too, because "the compiler refuses here" is a result.
 
 from __future__ import annotations
 
-import json
 from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.artifacts import publish
+from repro.artifacts.flatten import Sink, cache_stats
+from repro.artifacts.registry import PIPELINE_TRACE as SCHEMA
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pipeline.manager import SpanRecord
 
-SCHEMA = "repro.pipeline/1"
+_STATUSES = ("applied", "noop", "infeasible", "error")
 
 
 def span_to_dict(span: "SpanRecord") -> dict:
@@ -84,7 +88,59 @@ def build_trace(
     }
 
 
+def validate_trace(trace: dict) -> list:
+    """Problems with a trace payload (empty list = valid) — the
+    registered payload check for :data:`SCHEMA`."""
+    problems = []
+    for field, typ in (
+        ("passes", list), ("spans", list), ("cache", dict),
+    ):
+        if not isinstance(trace.get(field), typ):
+            problems.append(f"{field} missing or not a {typ.__name__}")
+    spans = trace.get("spans")
+    if isinstance(spans, list):
+        for i, span in enumerate(spans):
+            if not isinstance(span, dict):
+                problems.append(f"spans[{i}] is not an object")
+                continue
+            if span.get("status") not in _STATUSES:
+                problems.append(
+                    f"spans[{i}].status is {span.get('status')!r}, want one "
+                    f"of {', '.join(_STATUSES)}"
+                )
+            if not isinstance(span.get("pass"), str):
+                problems.append(f"spans[{i}].pass missing or non-string")
+        if isinstance(trace.get("passes"), list) and len(trace["passes"]) != len(spans):
+            problems.append(
+                f"passes lists {len(trace['passes'])} names but there are "
+                f"{len(spans)} spans"
+            )
+    return problems
+
+
+def flatten_trace(trace: dict) -> dict:
+    """Flat perf metrics for a trace payload — the registered perf
+    ingestion hook for :data:`SCHEMA`."""
+    sink = Sink()
+    sink.put("elapsed_s", trace.get("elapsed_s"))
+    spans = trace.get("spans")
+    if not isinstance(spans, list):
+        spans = []
+    else:
+        sink.put("passes.count", len(spans))
+    for span in spans:
+        if not isinstance(span, dict):
+            continue
+        name = span.get("pass", "?")
+        sink.put(f"pass:{name}.wall_s", span.get("wall_s"))
+        sink.put(f"pass:{name}.ir_size_after", span.get("ir_size_after"))
+        before, after = span.get("ir_size_before"), span.get("ir_size_after")
+        if isinstance(before, (int, float)) and isinstance(after, (int, float)):
+            sink.put(f"pass:{name}.ir_growth", after - before)
+    cache_stats(sink, trace.get("cache"))
+    return sink.metrics
+
+
 def write_trace(path: str, trace: dict) -> None:
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(trace, fh, indent=2, sort_keys=False)
-        fh.write("\n")
+    """Envelope and write a trace artifact (validated on the way out)."""
+    publish(path, trace, producer=__package__)

@@ -1,4 +1,4 @@
-"""repro.serve — concurrent compile-and-run service over a persistent store.
+"""Concurrent compile-and-run service over a persistent store (``repro.serve``).
 
 The rest of the stack derives, checks, and benchmarks one procedure at a
 time, in process, and every :class:`~repro.pipeline.cache.AnalysisCache`

@@ -217,7 +217,7 @@ def _run_jobs(args, specs: list[JobSpec]) -> int:
         if getattr(args, "no_store", False)
         else ArtifactStore(args.store_dir)
     )
-    meta = {"tool": "repro.serve", "command": args.command}
+    meta = {"tool": __package__, "command": args.command}
 
     def go() -> dict:
         return run_batch(
@@ -233,7 +233,7 @@ def _run_jobs(args, specs: list[JobSpec]) -> int:
         with obs_core.enabled() as o:
             report = go()
         if args.obs:
-            obs_export.write_json(args.obs, obs_export.metrics(o, meta=meta))
+            obs_export.write_metrics(args.obs, obs_export.metrics(o, meta=meta))
         if args.chrome_trace:
             obs_export.write_json(args.chrome_trace, obs_export.chrome_trace(o))
     else:
@@ -245,7 +245,9 @@ def _run_jobs(args, specs: list[JobSpec]) -> int:
             print(f"invalid report: {problem}", file=sys.stderr)
         return 2
     if args.out:
-        write_report(args.out, report)
+        # land the report in the same store the batch ran against (the
+        # stats snapshot inside it predates this write, on purpose)
+        write_report(args.out, report, store=store)
     _print_report(report)
     if args.out:
         print(f"report written to {args.out}")

@@ -3,37 +3,37 @@
 .. code-block:: text
 
     {
-      "schema": "repro.serve/1",
-      "meta": {"tool": "...", ...},              # free-form strings
-      "jobs": [
+      'schema': 'repro.serve/1',
+      'meta': {'tool': '...', ...},              # free-form strings
+      'jobs': [
         {
-          "id": 0,
-          "label": "derive:lu_nopivot",
-          "kind": "derive",
-          "workload": "lu_nopivot",
-          "digest": "9f31...",                   # store/dedup address
-          "status": "hit|computed|retried|timeout|failed|cancelled",
-          "attempts": 1,                          # 0 for a store hit
-          "submissions": 1,                       # >1 when deduplicated
-          "worker": 0 | null,
-          "wall_s": 0.71,                         # final attempt execution
-          "queue_wait_s": 0.002,
-          "stored": true,                         # published to the store
-          "fingerprint": "ba77..." | null,        # derived IR, if any
-          "error": null | "message",
-          "result": {...} | null                  # job value, "ir" elided
+          'id': 0,
+          'label': 'derive:lu_nopivot',
+          'kind': 'derive',
+          'workload': 'lu_nopivot',
+          'digest': '9f31...',                   # store/dedup address
+          'status': 'hit|computed|retried|timeout|failed|cancelled',
+          'attempts': 1,                          # 0 for a store hit
+          'submissions': 1,                       # >1 when deduplicated
+          'worker': 0 | null,
+          'wall_s': 0.71,                         # final attempt execution
+          'queue_wait_s': 0.002,
+          'stored': true,                         # published to the store
+          'fingerprint': 'ba77...' | null,        # derived IR, if any
+          'error': null | 'message',
+          'result': {...} | null                  # job value, 'ir' elided
         }, ...
       ],
-      "summary": {"hit": 0, "computed": 3, ..., "total": 3, "ok": 3},
-      "pool": {"workers", "max_retries", "backoff_s", "respawns",
-               "coalesced", "busy_s", "utilization", "elapsed_s",
-               "per_worker": [{"worker", "jobs", "busy_s",
-                               "utilization"}, ...]},
-      "latency": {"wall_s": {count,total,min,max,mean,p50,p95,p99},
-                  "queue_wait_s": {...same keys...}},
-      "store": {"enabled", "root", "hits", "misses", "writes",
-                "corrupt", "entries", "bytes"} ,
-      "elapsed_s": 1.23
+      'summary': {'hit': 0, 'computed': 3, ..., 'total': 3, 'ok': 3},
+      'pool': {'workers', 'max_retries', 'backoff_s', 'respawns',
+               'coalesced', 'busy_s', 'utilization', 'elapsed_s',
+               'per_worker': [{'worker', 'jobs', 'busy_s',
+                               'utilization'}, ...]},
+      'latency': {'wall_s': {count,total,min,max,mean,p50,p95,p99},
+                  'queue_wait_s': {...same keys...}},
+      'store': {'enabled', 'root', 'hits', 'misses', 'writes',
+                'corrupt', 'entries', 'bytes'} ,
+      'elapsed_s': 1.23
     }
 
 One row per *deduplicated* job: N identical submissions appear as a
@@ -41,22 +41,23 @@ single row with ``submissions: N`` — the honest unit for a service
 whose whole point is never computing the same thing twice.
 ``validate_report`` returns a list of problems (empty = valid), the
 idiom shared with ``repro.obs``/``repro.check``; the ``serve-smoke``
-CI job runs it over a real batch.
+CI job runs it over a real batch.  Reports are written enveloped (see
+:mod:`repro.artifacts`).
 """
 
 from __future__ import annotations
 
-import json
 import time
 from typing import Optional, Sequence
 
+from repro.artifacts import publish
+from repro.artifacts.flatten import HIST_FIELDS, Sink
+from repro.artifacts.registry import SERVE_REPORT as SCHEMA
 from repro.obs import core as _obs
 from repro.obs.core import Histogram
 from repro.serve.jobs import JobSpec, result_fingerprint
 from repro.serve.pool import STATUSES, JobOutcome, WorkerPool
 from repro.serve.store import ArtifactStore
-
-SCHEMA = "repro.serve/1"
 
 
 def run_batch(
@@ -182,12 +183,11 @@ def _store_stats(
 
 
 def validate_report(doc: dict) -> list[str]:
-    """Problems with a ``repro.serve/1`` document (empty = valid)."""
+    """Problems with a serve-report payload (empty = valid) — the
+    registered payload check for :data:`SCHEMA`."""
     errors: list[str] = []
     if not isinstance(doc, dict):
         return ["document is not an object"]
-    if doc.get("schema") != SCHEMA:
-        errors.append(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
     for key in ("meta", "summary", "pool", "latency", "store"):
         if not isinstance(doc.get(key), dict):
             errors.append(f"missing or non-object field {key!r}")
@@ -237,7 +237,29 @@ def validate_report(doc: dict) -> list[str]:
     return errors
 
 
-def write_report(path: str, doc: dict) -> None:
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=2)
-        fh.write("\n")
+def flatten_report(doc: dict) -> dict:
+    """Flat perf metrics for a serve-report payload — the registered
+    perf ingestion hook for :data:`SCHEMA`."""
+    sink = Sink()
+    sink.put("elapsed_s", doc.get("elapsed_s"))
+    for status, count in sorted((doc.get("summary") or {}).items()):
+        sink.put(f"jobs.{status}", count)
+    pool = doc.get("pool") or {}
+    for field in ("busy_s", "utilization", "respawns", "coalesced"):
+        sink.put(f"pool.{field}", pool.get(field))
+    for key, h in sorted((doc.get("latency") or {}).items()):
+        sink.put_summary(f"latency.{key}", h, HIST_FIELDS)
+    for job in doc.get("jobs") or []:
+        if not isinstance(job, dict):
+            continue
+        label = job.get("label", "?")
+        sink.put(f"job:{label}.wall_s", job.get("wall_s"))
+        sink.put(f"job:{label}.queue_wait_s", job.get("queue_wait_s"))
+    return sink.metrics
+
+
+def write_report(path: str, doc: dict, store=None, request=None) -> dict:
+    """Envelope and write a serve batch report (validated on the way
+    out); optionally lands it in the store sink.  Returns the envelope."""
+    return publish(path, doc, producer=__package__, store=store,
+                   request=request)

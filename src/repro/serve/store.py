@@ -24,7 +24,11 @@ Durability discipline — the part that must not be fudged:
 
 ``stats()`` reports in-process counters (hits/misses/writes/corrupt)
 plus an on-disk scan (entries, bytes); ``gc()`` prunes by entry count
-(oldest first) and/or age.
+(oldest first) and/or age.  The same counters also feed the active
+:mod:`repro.obs` observer (``store.hits`` / ``store.misses`` /
+``store.writes`` / ``store.corrupt``), and reads/writes show up as
+``store:get`` / ``store:put`` spans in metrics exports and Chrome
+traces — no-ops when observation is off.
 """
 
 from __future__ import annotations
@@ -36,7 +40,9 @@ import tempfile
 import time
 from fractions import Fraction
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Iterator, Optional
+
+from repro.obs import core as _obs
 
 #: bump to invalidate every existing artifact (participates in the digest)
 SCHEMA_VERSION = 1
@@ -45,7 +51,7 @@ SCHEMA_VERSION = 1
 #: variable or the ``root`` constructor argument
 DEFAULT_ROOT = ".repro-cache"
 
-_MAGIC = b"repro.serve.art/1\n"
+_MAGIC = b"repro-store/1\n"
 _SUFFIX = ".art"
 
 
@@ -104,25 +110,37 @@ class ArtifactStore:
     def get(self, key: Any) -> tuple[bool, Any]:
         """``(hit, value)``; any unreadable or corrupted entry is a miss."""
         path = self.path_for(key)
-        try:
-            blob = path.read_bytes()
-        except OSError:
-            self.misses += 1
-            return False, None
-        value = self._decode(blob, key)
-        if value is _CORRUPT:
-            self.corrupt += 1
-            self.misses += 1
-            try:  # reap the bad entry so it cannot fail again
-                path.unlink()
+        with _obs.span("store:get", cat="store") as span_args:
+            try:
+                blob = path.read_bytes()
             except OSError:
-                pass
-            return False, None
-        self.hits += 1
-        return True, value
+                self.misses += 1
+                _obs.count("store.misses")
+                span_args["hit"] = False
+                return False, None
+            value = self._decode(blob, key)
+            if value is _CORRUPT:
+                self.corrupt += 1
+                self.misses += 1
+                _obs.count("store.corrupt")
+                _obs.count("store.misses")
+                span_args["hit"] = False
+                try:  # reap the bad entry so it cannot fail again
+                    path.unlink()
+                except OSError:
+                    pass
+                return False, None
+            self.hits += 1
+            _obs.count("store.hits")
+            span_args["hit"] = True
+            return True, value
 
     def put(self, key: Any, value: Any) -> Path:
         """Atomically publish ``value`` under ``key``; returns the path."""
+        with _obs.span("store:put", cat="store"):
+            return self._put(key, value)
+
+    def _put(self, key: Any, value: Any) -> Path:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         body = pickle.dumps(
@@ -149,6 +167,7 @@ class ArtifactStore:
                 pass
             raise
         self.writes += 1
+        _obs.count("store.writes")
         return path
 
     def _decode(self, blob: bytes, key: Any):
@@ -190,6 +209,34 @@ class ArtifactStore:
                 out.append((st.st_mtime, st.st_size, p))
         out.sort()
         return out
+
+    def scan(self) -> Iterator[tuple[str, Any]]:
+        """Yield ``(canonical key text, value)`` for every entry that
+        passes checksum verification — enumeration without knowing the
+        keys (``python -m repro.artifacts ls``).  Corrupt entries are
+        skipped (and counted), not unlinked: a reader that cannot name
+        the key should not reap the file."""
+        header_len = len(_MAGIC) + 64 + 1
+        for _, _, path in self._entries():
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                continue
+            if len(blob) < header_len or not blob.startswith(_MAGIC):
+                self.corrupt += 1
+                continue
+            want = blob[len(_MAGIC) : len(_MAGIC) + 64]
+            body = blob[header_len:]
+            if hashlib.sha256(body).hexdigest().encode("ascii") != want:
+                self.corrupt += 1
+                continue
+            try:
+                doc = pickle.loads(body)
+                if doc["schema_version"] != self.schema_version:
+                    continue
+                yield doc["key"], doc["value"]
+            except Exception:
+                self.corrupt += 1
 
     def stats(self) -> dict:
         entries = self._entries()

@@ -1,0 +1,100 @@
+"""The store sink: content addressing, request pointers, publish()."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.artifacts import (
+    envelope,
+    find_artifact,
+    get_artifact,
+    get_for_request,
+    list_artifacts,
+    payload_of,
+    publish,
+    put_artifact,
+)
+from repro.artifacts.registry import PERF_BASELINE
+from repro.errors import ArtifactError
+from repro.serve.store import ArtifactStore
+
+
+def baseline_payload(wall=0.5) -> dict:
+    return {"schema": PERF_BASELINE, "metrics": {"pass:block.wall_s": wall}}
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(str(tmp_path / "cache"))
+
+
+class TestContentAddressing:
+    def test_put_then_get_roundtrips(self, store):
+        env = envelope(baseline_payload(), producer="t")
+        digest = put_artifact(store, env)
+        assert digest == env["digest"]
+        assert get_artifact(store, PERF_BASELINE, digest) == env
+
+    def test_same_payload_twice_is_one_entry(self, store):
+        put_artifact(store, envelope(baseline_payload(), producer="a"))
+        put_artifact(store, envelope(baseline_payload(), producer="b"))
+        assert len(list_artifacts(store)) == 1
+
+    def test_bare_documents_are_refused(self, store):
+        with pytest.raises(ArtifactError):
+            put_artifact(store, baseline_payload())
+
+    def test_missing_artifact_is_none(self, store):
+        assert get_artifact(store, PERF_BASELINE, "ff" * 32) is None
+
+
+class TestRequestPointers:
+    def test_request_pointer_resolves_to_the_envelope(self, store):
+        env = envelope(baseline_payload(), producer="t")
+        request = ("profile", "lu_nopivot", (("N", 16),))
+        put_artifact(store, env, request=request)
+        assert get_for_request(store, PERF_BASELINE, request) == env
+        assert get_for_request(store, PERF_BASELINE, ("other",)) is None
+
+    def test_pointers_are_not_listed_as_content(self, store):
+        env = envelope(baseline_payload(), producer="t")
+        put_artifact(store, env, request=("r",))
+        rows = list_artifacts(store)
+        assert len(rows) == 1
+        assert rows[0]["digest"] == env["digest"]
+        assert rows[0]["schema"] == PERF_BASELINE
+
+
+class TestFindArtifact:
+    def test_prefix_match(self, store):
+        env = envelope(baseline_payload(), producer="t")
+        put_artifact(store, env)
+        assert find_artifact(store, env["digest"][:8]) == env
+        assert find_artifact(store, "ffff") is None
+
+    def test_ambiguous_prefix_raises(self, store):
+        put_artifact(store, envelope(baseline_payload(0.5), producer="t"))
+        put_artifact(store, envelope(baseline_payload(0.6), producer="t"))
+        with pytest.raises(ArtifactError, match="ambiguous"):
+            find_artifact(store, "")
+
+
+class TestPublish:
+    def test_publish_envelopes_writes_and_lands(self, store, tmp_path):
+        path = tmp_path / "base.json"
+        env = publish(str(path), baseline_payload(), producer="t",
+                      store=store, request=("r",))
+        assert payload_of(env) == baseline_payload()
+        assert path.exists()
+        assert get_artifact(store, PERF_BASELINE, env["digest"]) == env
+        assert get_for_request(store, PERF_BASELINE, ("r",)) == env
+
+    def test_publish_validates_by_default(self, tmp_path):
+        bad = {"schema": PERF_BASELINE, "metrics": {"x": "slow"}}
+        with pytest.raises(ArtifactError):
+            publish(str(tmp_path / "bad.json"), bad, producer="t")
+        assert not (tmp_path / "bad.json").exists()
+
+    def test_publish_without_path_or_store_just_envelopes(self):
+        env = publish(None, baseline_payload(), producer="t")
+        assert env["producer"] == "t"

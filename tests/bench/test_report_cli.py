@@ -113,6 +113,7 @@ class TestObsFlag:
     def test_obs_writes_valid_metrics(self, patched_builders, tmp_path, capsys):
         import json
 
+        from repro.artifacts import is_envelope, payload_of
         from repro.obs.export import validate_metrics
 
         patched_builders([("only", lambda: fake_table("Only"))])
@@ -120,6 +121,8 @@ class TestObsFlag:
         obs_path = tmp_path / "obs.json"
         assert report.main(["--obs", str(obs_path), str(out_md)]) == 0
         assert "obs metrics written to" in capsys.readouterr().out
-        doc = json.loads(obs_path.read_text())
+        env = json.loads(obs_path.read_text())
+        assert is_envelope(env)
+        doc = payload_of(env)
         assert validate_metrics(doc) == []
         assert doc["meta"]["tool"] == "repro.bench.report"

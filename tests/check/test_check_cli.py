@@ -2,6 +2,7 @@
 
 import json
 
+from repro.artifacts import payload_of
 from repro.check.cli import main
 from repro.check.report import validate_report
 
@@ -27,7 +28,7 @@ def test_lu_nopivot_clean_with_report(tmp_path, capsys):
     assert main(["lu_nopivot", "--json", str(path)]) == 0
     out = capsys.readouterr().out
     assert "blockable" in out
-    doc = json.loads(path.read_text())
+    doc = payload_of(json.loads(path.read_text()))
     assert validate_report(doc) == []
     assert doc["summary"]["error"] == 0
     assert any(v["verdict"] == "blockable" for v in doc["verdicts"])

@@ -3,6 +3,8 @@ validator must catch tampered documents."""
 
 import json
 
+from repro.artifacts import is_envelope, payload_of, validate_document
+from repro.artifacts.validate import RULE_STALE_VERSION
 from repro.check import SCHEMA, build_report, validate_report, write_report
 from repro.check.diagnostics import diag
 from repro.check.linter import LintResult
@@ -31,13 +33,18 @@ def test_report_survives_json_round_trip(tmp_path):
     path = tmp_path / "report.json"
     write_report(str(path), sample_report())
     doc = json.loads(path.read_text())
-    assert validate_report(doc) == []
+    assert is_envelope(doc)
+    assert validate_document(doc) == []
+    assert validate_report(payload_of(doc)) == []
 
 
 def test_wrong_schema_rejected():
+    # schema identity moved to the envelope layer: a stale version is a
+    # structured artifact/stale-version problem, not a payload error
     doc = sample_report()
     doc["schema"] = "repro.check/0"
-    assert any("schema" in p for p in validate_report(doc))
+    problems = validate_document(doc)
+    assert [p.rule for p in problems] == [RULE_STALE_VERSION]
 
 
 def test_tampered_summary_rejected():

@@ -6,6 +6,7 @@ import json
 
 import pytest
 
+from repro.artifacts import is_envelope, payload_of
 from repro.matrix.cli import main
 from repro.matrix.report import SCHEMA, validate_report
 
@@ -29,7 +30,9 @@ class TestRun:
         out = cachedir / "BENCH_matrix.json"
         rc = run_cli("run", *GRID, "--workers", "1", "--out", str(out))
         assert rc == 0
-        doc = json.loads(out.read_text())
+        env = json.loads(out.read_text())
+        assert is_envelope(env)
+        doc = payload_of(env)
         assert doc["schema"] == SCHEMA
         assert validate_report(doc) == []
         assert doc["run"]["computed"] == 4
@@ -40,7 +43,7 @@ class TestRun:
         out = cachedir / "r.json"
         assert run_cli("run", *GRID, "--workers", "1", "--out", str(out)) == 0
         assert run_cli("run", *GRID, "--workers", "1", "--out", str(out)) == 0
-        doc = json.loads(out.read_text())
+        doc = payload_of(json.loads(out.read_text()))
         assert doc["run"]["skipped"] == 4
         assert doc["run"]["computed"] == 0
 
@@ -82,7 +85,7 @@ class TestStatusResumeReport:
     def test_resume_completed_sweep_is_a_noop(self, swept, capsys):
         out = swept / "resumed.json"
         assert run_cli("resume", "--out", str(out)) == 0
-        doc = json.loads(out.read_text())
+        doc = payload_of(json.loads(out.read_text()))
         assert doc["run"]["skipped"] == 4
 
     def test_resume_unknown_sweep_exits_2(self, swept, capsys):
@@ -92,7 +95,7 @@ class TestStatusResumeReport:
     def test_report_only_factor(self, swept, capsys):
         out = swept / "rep.json"
         assert run_cli("report", "--only", "b", "--out", str(out)) == 0
-        doc = json.loads(out.read_text())
+        doc = payload_of(json.loads(out.read_text()))
         assert validate_report(doc) == []
         assert list(doc["sensitivity"]) == ["b"]
 

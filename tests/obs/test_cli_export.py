@@ -6,6 +6,8 @@ import json
 
 import pytest
 
+from repro.artifacts import is_envelope, payload_of, validate_document
+from repro.artifacts.validate import RULE_STALE_VERSION
 from repro.obs import core, export
 from repro.obs.cli import main
 
@@ -41,9 +43,11 @@ class TestValidateMetrics:
         assert export.validate_metrics(doc) == []
 
     def test_wrong_schema_rejected(self):
+        # schema identity is the envelope layer's job now
         doc = export.metrics(core.Obs())
         doc["schema"] = "repro.obs/99"
-        assert any("schema" in e for e in export.validate_metrics(doc))
+        problems = validate_document(doc)
+        assert [p.rule for p in problems] == [RULE_STALE_VERSION]
 
     def test_non_integer_counter_rejected(self):
         doc = export.metrics(core.Obs())
@@ -106,7 +110,9 @@ class TestCliEndToEnd:
         assert any(n.startswith("pass:") for n in names)
         assert any(n.startswith("interpret:") for n in names)
 
-        doc = json.loads(metrics_path.read_text())
+        env = json.loads(metrics_path.read_text())
+        assert is_envelope(env) and validate_document(env) == []
+        doc = payload_of(env)
         assert export.validate_metrics(doc) == []
         assert doc["meta"]["workload"] == "conv"
         # the acceptance invariant, re-checked from the written artifact
@@ -124,7 +130,7 @@ class TestCliEndToEnd:
             "--metrics", str(metrics_path),
         ])
         assert rc == 0
-        doc = json.loads(metrics_path.read_text())
+        doc = payload_of(json.loads(metrics_path.read_text()))
         assert doc["meta"]["passes"] == "['split']"
 
 

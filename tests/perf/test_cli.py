@@ -7,6 +7,8 @@ import json
 
 import pytest
 
+from repro.artifacts import is_envelope, payload_of
+from repro.artifacts.registry import PERF_BASELINE, PERF_GATE
 from repro.perf import cli
 from tests.perf.test_ingest import pipeline_doc
 
@@ -57,8 +59,10 @@ class TestRecordAndQuery:
         base = str(env["tmp"] / "base.json")
         assert run(["record", env["ref"], "--db", env["db"],
                     "--baseline-out", base]) == 0
-        doc = json.load(open(base))
-        assert doc["schema"] == "repro.perf.baseline/1"
+        env_doc = json.load(open(base))
+        assert is_envelope(env_doc)
+        doc = payload_of(env_doc)
+        assert doc["schema"] == PERF_BASELINE
         assert doc["metrics"]["pass:block.wall_s"] == 0.5
 
 
@@ -125,8 +129,8 @@ class TestGateExitCodes:
         run(["gate", env["slow"], "--baseline", "main", "--db", env["db"],
              "--metrics", "pass:*.wall_s", "--threshold", "25",
              "--json", out_path])
-        doc = json.load(open(out_path))
-        assert doc["schema"] == "repro.perf.gate/1"
+        doc = payload_of(json.load(open(out_path)))
+        assert doc["schema"] == PERF_GATE
         assert doc["verdict"] == "regressed"
         assert doc["exit_code"] == 1
         assert any(r["verdict"] == "regressed" for r in doc["rows"])

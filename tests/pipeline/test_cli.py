@@ -6,6 +6,7 @@ import json
 
 import pytest
 
+from repro.artifacts import is_envelope, payload_of
 from repro.pipeline.cli import main
 from repro.pipeline.trace import SCHEMA
 
@@ -51,7 +52,10 @@ class TestDerivationRun:
         assert "conv: 3 pass(es)" in out
         assert "verified" in out
         assert "cache[" in out
-        trace = json.loads(trace_path.read_text())
+        doc = json.loads(trace_path.read_text())
+        assert is_envelope(doc)
+        assert f"{doc['schema']}/{doc['schema_version']}" == SCHEMA
+        trace = payload_of(doc)
         assert trace["schema"] == SCHEMA
         assert trace["algorithm"] == "conv"
         assert [s["pass"] for s in trace["spans"]] == ["split", "jam", "scalars"]
@@ -76,7 +80,7 @@ class TestDerivationRun:
         )
         assert rc == 2
         assert "infeasible" in capsys.readouterr().err
-        trace = json.loads(trace_path.read_text())
+        trace = payload_of(json.loads(trace_path.read_text()))
         assert trace["spans"][0]["status"] == "infeasible"
 
     def test_print_ir_emits_fortran(self, capsys):
@@ -101,7 +105,7 @@ class TestAcceptanceCommand:
             ]
         )
         assert rc == 0
-        trace = json.loads(trace_path.read_text())
+        trace = payload_of(json.loads(trace_path.read_text()))
         assert len(trace["spans"]) == 3
         statuses = {s["pass"]: s["status"] for s in trace["spans"]}
         assert statuses["block"] == "applied"

@@ -6,6 +6,7 @@ import json
 
 import pytest
 
+from repro.artifacts import is_envelope, payload_digest, payload_of
 from repro.errors import TransformError
 from repro.ir.build import assign, do, ref
 from repro.ir.expr import Var
@@ -47,7 +48,10 @@ class TestRoundTrip:
         result = run_passes(small_proc(), ["scalars"], cache=AnalysisCache())
         path = tmp_path / "trace.json"
         write_trace(str(path), result.trace)
-        loaded = json.loads(path.read_text())
+        doc = json.loads(path.read_text())
+        assert is_envelope(doc)
+        assert doc["digest"] == payload_digest(result.trace)
+        loaded = payload_of(doc)
         assert loaded == result.trace
         assert loaded["schema"] == SCHEMA
 

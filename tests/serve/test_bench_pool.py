@@ -12,7 +12,9 @@ import json
 
 import pytest
 
+from repro.artifacts import is_envelope, payload_of
 from repro.pipeline import bench
+from repro.pipeline.bench import SCHEMA
 
 
 FAST = (
@@ -70,8 +72,10 @@ def test_main_pool_mode_writes_the_artifact(tmp_path, capsys):
     rc = bench.main([str(path), "--jobs", "2",
                      "--store-dir", str(tmp_path / "cache")])
     assert rc == 0
-    doc = json.loads(path.read_text())
-    assert doc["schema"] == "repro.pipeline.bench/1"
+    env = json.loads(path.read_text())
+    assert is_envelope(env)
+    doc = payload_of(env)
+    assert doc["schema"] == SCHEMA
     assert doc["mode"] == "pool"
     out = capsys.readouterr().out
     assert "2 job(s) on 2 worker(s)" in out
@@ -81,7 +85,7 @@ def test_main_classic_mode_untouched_by_the_flag_default(tmp_path):
     # --jobs 0 (default) must still produce the in-process cold/warm shape
     path = tmp_path / "BENCH_pipeline.json"
     assert bench.main([str(path)]) == 0
-    doc = json.loads(path.read_text())
+    doc = payload_of(json.loads(path.read_text()))
     assert doc["mode"] == "inprocess"
     for data in doc["workloads"].values():
         assert {"cold", "warm", "warm_speedup"} <= set(data)

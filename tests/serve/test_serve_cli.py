@@ -6,6 +6,8 @@ import json
 
 import pytest
 
+from repro.artifacts import is_envelope, payload_of
+from repro.artifacts.registry import OBS_METRICS
 from repro.serve.cli import main
 from repro.serve.service import validate_report
 from repro.serve.store import ArtifactStore
@@ -25,13 +27,15 @@ class TestSubmit:
     def test_cold_then_warm_writes_a_valid_report(self, store_dir, tmp_path, capsys):
         out = tmp_path / "report.json"
         assert submit(store_dir, "--out", str(out)) == 0
-        report = json.loads(out.read_text())
+        env = json.loads(out.read_text())
+        assert is_envelope(env)
+        report = payload_of(env)
         assert validate_report(report) == []
         assert report["jobs"][0]["status"] == "computed"
         assert "report written to" in capsys.readouterr().out
 
         assert submit(store_dir, "--out", str(out)) == 0
-        warm = json.loads(out.read_text())
+        warm = payload_of(json.loads(out.read_text()))
         assert warm["jobs"][0]["status"] == "hit"
         assert warm["jobs"][0]["fingerprint"] == report["jobs"][0]["fingerprint"]
 
@@ -49,8 +53,9 @@ class TestSubmit:
     def test_obs_profile_written(self, store_dir, tmp_path):
         obs_path = tmp_path / "obs.json"
         assert submit(store_dir, "--no-store", "--obs", str(obs_path)) == 0
-        profile = json.loads(obs_path.read_text())
-        assert profile["schema"] == "repro.obs/1"
+        env = json.loads(obs_path.read_text())
+        assert is_envelope(env)
+        assert payload_of(env)["schema"] == OBS_METRICS
 
 
 class TestBatch:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+from repro.artifacts import is_envelope, payload_of, validate_document
+from repro.artifacts.validate import RULE_STALE_VERSION
 from repro.obs import core as obs_core
 from repro.serve.jobs import JobSpec
 from repro.serve.service import (
@@ -116,9 +118,11 @@ class TestValidateReport:
         assert validate_report([]) == ["document is not an object"]
 
     def test_rejects_wrong_schema(self):
+        # schema identity is the envelope layer's job now
         doc = self.good()
         doc["schema"] = "repro.serve/99"
-        assert any("schema" in p for p in validate_report(doc))
+        problems = validate_document(doc)
+        assert [p.rule for p in problems] == [RULE_STALE_VERSION]
 
     def test_rejects_missing_sections(self):
         doc = self.good()
@@ -158,5 +162,7 @@ def test_write_report_roundtrips(tmp_path):
     report = run_batch([probe(value="v")], workers=1)
     path = tmp_path / "report.json"
     write_report(str(path), report)
-    assert json.loads(path.read_text()) == json.loads(json.dumps(report))
+    doc = json.loads(path.read_text())
+    assert is_envelope(doc)
+    assert payload_of(doc) == json.loads(json.dumps(report))
     assert path.read_text().endswith("\n")

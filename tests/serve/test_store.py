@@ -197,6 +197,54 @@ class TestMaintenance:
         assert store.stats()["entries"] == 1
 
 
+class TestScan:
+    def test_scan_yields_canonical_key_and_value(self, store):
+        store.put(KEY, {"ir": "DO I = 1, N"})
+        store.put(("other", 1), "v2")
+        entries = dict(store.scan())
+        assert entries[canonical_key(KEY)] == {"ir": "DO I = 1, N"}
+        assert entries[canonical_key(("other", 1))] == "v2"
+
+    def test_scan_skips_corrupt_without_unlinking(self, store):
+        store.put(KEY, "good")
+        store.put(("bad",), "junk")
+        bad_path = store.path_for(("bad",))
+        blob = bytearray(bad_path.read_bytes())
+        blob[-1] ^= 0xFF
+        bad_path.write_bytes(bytes(blob))
+        entries = list(store.scan())
+        assert [v for _, v in entries] == ["good"]
+        assert store.corrupt == 1
+        assert bad_path.exists()  # scan never reaps — get() does
+
+    def test_scan_skips_other_schema_versions(self, store):
+        store.put(KEY, "v")
+        bumped = ArtifactStore(str(store.root),
+                               schema_version=SCHEMA_VERSION + 1)
+        assert list(bumped.scan()) == []
+
+
+class TestObsIntegration:
+    def test_counters_and_spans_land_in_an_enabled_obs(self, store):
+        from repro.obs import core as obs_core
+
+        with obs_core.enabled() as o:
+            store.put(KEY, "v")
+            store.get(KEY)           # hit
+            store.get(("absent",))   # miss
+        assert o.counters["store.writes"] == 1
+        assert o.counters["store.hits"] == 1
+        assert o.counters["store.misses"] == 1
+        names = {s.name for s in o.spans}
+        assert {"store:get", "store:put"} <= names
+        hits = [s.args.get("hit") for s in o.spans if s.name == "store:get"]
+        assert sorted(hits) == [False, True]
+
+    def test_disabled_obs_is_a_no_op(self, store):
+        store.put(KEY, "v")
+        assert store.get(KEY) == (True, "v")  # no observer, no crash
+
+
 # --- concurrency -----------------------------------------------------------
 
 def _hammer_writer(root: str, seed: int, rounds: int) -> None:
