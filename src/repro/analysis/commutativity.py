@@ -218,6 +218,73 @@ def _is_rank1_update_one_level(assign: Assign, i_var: str) -> Optional[tuple[str
     return None
 
 
+@dataclass(frozen=True)
+class ReductionUpdate:
+    """A commutative accumulation ``acc = acc op expr``.
+
+    ``target`` is the accumulator reference (array element or scalar),
+    ``op`` the accumulation operator as written (``+``, ``-``, or ``*``;
+    ``-`` folds into ``+`` of the negated term), and ``term`` the
+    accumulated expression, which must not read the accumulator again.
+    Iterations that only touch a location through such updates commute —
+    the basis of the ``REDUCTION`` parallelism verdict in
+    :mod:`repro.par.detect`.
+    """
+
+    target: Expr  # ArrayRef | Var
+    op: str
+    term: Expr
+
+    @property
+    def array(self) -> Optional[str]:
+        return self.target.array if isinstance(self.target, ArrayRef) else None
+
+
+def _reads_location(e: Expr, target: Expr) -> bool:
+    """Does ``e`` contain a read of the accumulator's array/scalar?"""
+    from repro.ir.visit import walk_exprs
+
+    if isinstance(target, ArrayRef):
+        return any(isinstance(x, ArrayRef) and x.array == target.array for x in walk_exprs(e))
+    return any(isinstance(x, Var) and x.name == target.name for x in walk_exprs(e))
+
+
+def match_reduction_update(stmt: Stmt) -> Optional[ReductionUpdate]:
+    """Recognize ``acc = acc op term`` (op commutative-associative).
+
+    Accepts ``acc + term``, ``term + acc``, ``acc - term`` and
+    ``acc * term`` / ``term * acc``; the accumulated term must not read the
+    accumulator's array (or scalar) again, otherwise the update is not a
+    pure accumulation and iterations do not commute.
+    """
+    if not isinstance(stmt, Assign):
+        return None
+    t, v = stmt.target, stmt.value
+    if not isinstance(v, BinOp):
+        return None
+    if v.op == "+" or v.op == "*":
+        for acc, term in ((v.left, v.right), (v.right, v.left)):
+            if acc == t and not _reads_location(term, t):
+                return ReductionUpdate(t, v.op, term)
+        return None
+    if v.op == "-" and v.left == t and not _reads_location(v.right, t):
+        return ReductionUpdate(t, "-", v.right)
+    return None
+
+
+def accumulations_commute(op_a: str, op_b: str) -> bool:
+    """Can two accumulation updates to the same location be reordered?
+
+    ``+`` and ``-`` mix freely (both are additions of signed terms); ``*``
+    only commutes with itself.  Mixing ``+`` with ``*`` is not associative
+    across iterations.
+    """
+    additive = {"+", "-"}
+    if op_a in additive and op_b in additive:
+        return True
+    return op_a == "*" and op_b == "*"
+
+
 def operations_commute(a: object, b: object) -> bool:
     """Do two matched operation groups commute?
 

@@ -63,6 +63,13 @@ _r.register(
     description="perf regression-gate verdict (per-metric rows, exit code)",
 )
 _r.register(
+    _r.PAR_REPORT,
+    validate="repro.par.report:validate_report",
+    flatten="repro.par.report:flatten_report",
+    description="loop-parallelism report (verdicts, sanitizer conflicts, "
+    "sharded-run speedup)",
+)
+_r.register(
     _r.PERF_BASELINE,
     validate="repro.perf.gate:validate_baseline",
     flatten="repro.perf.gate:flatten_baseline",

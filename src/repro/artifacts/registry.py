@@ -39,6 +39,7 @@ SERVE_REPORT = "repro.serve/1"
 MATRIX_REPORT = "repro.matrix/1"
 PERF_GATE = "repro.perf.gate/1"
 PERF_BASELINE = "repro.perf.baseline/1"
+PAR_REPORT = "repro.par/1"
 
 _Hook = Optional[Union[str, Callable]]
 

@@ -33,7 +33,7 @@ from typing import Optional
 from repro.artifacts import get_for_request, payload_of, write_file
 from repro.artifacts.registry import CHECK_REPORT
 from repro.check.diagnostics import RULES, Severity, errors_in
-from repro.check.linter import lint_blockability
+from repro.check.linter import lint_blockability, lint_parallelism
 from repro.check.report import build_report, validate_report, write_report
 from repro.check.verifier import verify_ir
 from repro.errors import CheckError, ReproError
@@ -51,6 +51,7 @@ def _check_workload(name: str, diagnostics: list, verdicts: list) -> None:
     for res in lint_blockability(proc, ctx):
         diagnostics.append(res.diagnostic())
         verdicts.append(res)
+    diagnostics.extend(lint_parallelism(proc, ctx))
 
     try:
         result = derive(name, cache=AnalysisCache(), check=True)

@@ -121,6 +121,12 @@ RULES: dict[str, Rule] = _catalogue(
          "index-set split or commutativity resolution available"),
     Rule("legal/if-inspection-shape", Severity.ERROR,
          "IF-inspection of a loop whose body is not a single IF-THEN"),
+    Rule("legal/par-carried-dep", Severity.ERROR,
+         "a PARALLEL DO marker on a loop with an independently re-derived "
+         "loop-carried dependence (or a cross-iteration scalar recurrence)"),
+    Rule("legal/par-reduction-shape", Severity.ERROR,
+         "a PARALLEL REDUCTION DO marker whose carried dependences are not "
+         "all commutative accumulations acc = acc op term"),
     # ---- lint/* : blockability classifications ---------------------------
     Rule("lint/blockable", Severity.INFO,
          "the loop nest is blockable by pure dependence reasoning"),
@@ -130,6 +136,16 @@ RULES: dict[str, Rule] = _catalogue(
     Rule("lint/not-blockable", Severity.WARNING,
          "no statement escapes the dependence cycle: the nest is not "
          "blockable, the preventing dependence is named"),
+    # ---- lint/par-* : loop-parallelism classifications (repro.par) -------
+    Rule("lint/par-parallel", Severity.INFO,
+         "the loop carries no dependence: iterations may run concurrently "
+         "(PARALLEL DO candidate)"),
+    Rule("lint/par-reduction", Severity.INFO,
+         "the loop carries only commutative accumulation: iterations "
+         "commute up to FP reassociation (PARALLEL REDUCTION DO candidate)"),
+    Rule("lint/par-serial", Severity.INFO,
+         "the loop must run serially; the blocking dependence edge and its "
+         "direction vector are named as the witness"),
 )
 
 

@@ -239,12 +239,125 @@ def _pre_ifinsp(proc, ctx, options):
     )]
 
 
+# ---------------------------------------------------------------------------
+# PARALLEL DO marker audit (pre: stale markers in the input; post: markers
+# the parallelize pass just planted)
+# ---------------------------------------------------------------------------
+
+def _par_carried(dep, loop) -> bool:
+    """Re-derived carried-at-level test (mirrors, but does not call, the
+    detector's criterion): the direction entry at ``loop`` admits two
+    distinct iterations while every outer entry admits equality."""
+    for j, l in enumerate(dep.loops):
+        if l is loop:
+            return dep.direction[j] != "=" and all(
+                d in ("=", "*") for d in dep.direction[:j]
+            )
+    return False
+
+
+def _par_marker_violations(proc, ctx) -> list[Diagnostic]:
+    """Audit every ``PARALLEL [REDUCTION] DO`` marker in ``proc``.
+
+    The dependence set is re-derived here from
+    :func:`repro.analysis.dependence.all_dependences` — deliberately not
+    through :mod:`repro.par.detect` — so a detector bug that plants a wrong
+    marker is caught by redundancy, per this module's charter.
+    """
+    from repro.analysis.commutativity import (
+        accumulations_commute,
+        match_reduction_update,
+    )
+    from repro.analysis.dependence import all_dependences
+    from repro.analysis.graph import _scalars_written, _upward_exposed_scalars
+    from repro.ir.stmt import ParallelLoop
+
+    out: list[Diagnostic] = []
+    for loop in find_loops(proc):
+        if not isinstance(loop, ParallelLoop):
+            continue
+        local = context_for_path(proc, loop, ctx)
+        carried = [d for d in all_dependences(proc, local) if _par_carried(d, loop)]
+        loop_vars = {l.var for l in walk_stmts(loop) if isinstance(l, Loop)}
+        hazards = sorted(
+            (_scalars_written(loop) & _upward_exposed_scalars(loop)) - loop_vars
+        )
+        kw = "PARALLEL DO" if loop.kind == "parallel" else "PARALLEL REDUCTION DO"
+        path = f"{proc.name}/{kw} {loop.var}"
+        if loop.kind == "parallel":
+            if carried:
+                out.append(diag(
+                    "legal/par-carried-dep", path,
+                    f"marked PARALLEL but carries {_dep_str(carried[0])}",
+                ))
+            elif hazards:
+                out.append(diag(
+                    "legal/par-carried-dep", path,
+                    f"marked PARALLEL but scalar(s) {', '.join(hazards)} are "
+                    "written and read across iterations",
+                ))
+            continue
+        # reduction marker: every carried endpoint must be a commutative
+        # accumulation of the touched location, with mutually commuting ops
+        ops: list[str] = []
+        for dep in carried:
+            for end in (dep.source, dep.sink):
+                red = match_reduction_update(end.stmt)
+                if red is None or end.ref != red.target:
+                    out.append(diag(
+                        "legal/par-reduction-shape", path,
+                        f"carried {_dep_str(dep)} is not absorbed by an "
+                        "acc = acc op term accumulation",
+                    ))
+                    break
+                ops.append(red.op)
+            else:
+                continue
+            break
+        else:
+            for name in hazards:
+                writes = [
+                    s for s in walk_stmts(loop)
+                    if isinstance(s, Assign)
+                    and isinstance(s.target, Var) and s.target.name == name
+                ]
+                reds = [match_reduction_update(s) for s in writes]
+                if any(r is None for r in reds):
+                    out.append(diag(
+                        "legal/par-reduction-shape", path,
+                        f"scalar {name} is carried across iterations by a "
+                        "non-accumulation write",
+                    ))
+                    break
+                ops.extend(r.op for r in reds)
+            else:
+                if any(
+                    not accumulations_commute(a, b)
+                    for i, a in enumerate(ops) for b in ops[i + 1:]
+                ):
+                    out.append(diag(
+                        "legal/par-reduction-shape", path,
+                        f"accumulation operators {sorted(set(ops))} do not "
+                        "commute with each other",
+                    ))
+    return out
+
+
+def _pre_parallelize(proc, ctx, options):
+    return _par_marker_violations(proc, ctx)
+
+
+def _post_parallelize(before, after, ctx, options):
+    return _par_marker_violations(after, ctx)
+
+
 _PRECHECKS = {
     "interchange": _pre_interchange,
     "jam": _pre_jam,
     "stripmine": _pre_stripmine,
     "block": _pre_block,
     "if_inspection": _pre_ifinsp,
+    "parallelize": _pre_parallelize,
 }
 
 
@@ -341,6 +454,7 @@ def _post_split(before, after, ctx, options):
 _POSTCHECKS = {
     "distribute": _post_distribute,
     "split": _post_split,
+    "parallelize": _post_parallelize,
 }
 
 

@@ -316,3 +316,52 @@ def lint_blockability(
         if isinstance(s, Loop):
             out.append(lint_loop(proc, s, ctx, allow_commutativity))
     return out
+
+
+# ---------------------------------------------------------------------------
+# lint/par-* : loop-parallelism classifications (repro.par detector)
+# ---------------------------------------------------------------------------
+
+_PAR_RULE = {
+    "parallel": "lint/par-parallel",
+    "reduction": "lint/par-reduction",
+    "serial": "lint/par-serial",
+}
+
+
+def lint_parallelism(proc: Procedure,
+                     ctx: Optional[Assumptions] = None) -> list[Diagnostic]:
+    """One ``lint/par-*`` diagnostic per DO loop in ``proc``.
+
+    Thin adapter over :func:`repro.par.detect.classify_procedure`: the
+    verdict (PARALLEL / REDUCTION / SERIAL) becomes the rule id, the
+    reason becomes the message, and a SERIAL verdict's witness names the
+    blocking dependence edge and its direction vector.
+    """
+    from repro.par.detect import classify_procedure
+
+    out = []
+    with _obs.span(f"lint:par:{proc.name}", cat="check"):
+        for v in classify_procedure(proc, ctx):
+            msg = v.reason
+            if v.witness:
+                w = v.witness
+                if "array" in w:
+                    msg += (
+                        f"; witness: {w['kind']} dependence on {w['array']} "
+                        f"({w['source']} -> {w['sink']}, "
+                        f"direction {'/'.join(w['direction'])})"
+                    )
+                elif "scalar" in w:
+                    msg += f"; witness: scalar recurrence on {w['scalar']}"
+                elif "ops" in w:
+                    msg += (
+                        "; witness: non-commuting accumulation operators "
+                        f"{{{', '.join(w['ops'])}}}"
+                    )
+            if v.reductions:
+                msg += f"; accumulators: {', '.join(v.reductions)}"
+            path = "/".join(v.path)
+            out.append(diag(_PAR_RULE[v.verdict],
+                            f"{proc.name}/DO {path}", msg))
+    return out

@@ -47,6 +47,7 @@ from repro.ir.stmt import (
     If,
     InLoop,
     Loop,
+    ParallelLoop,
     Procedure,
     Stmt,
 )
@@ -259,6 +260,8 @@ class _StmtParser:
             return None
         if t0.is_name("DO"):
             return self._parse_do(line)
+        if t0.is_name("PARALLEL"):
+            return self._parse_parallel_do(line)
         if t0.is_name("BLOCK") and len(toks) > 1 and toks[1].is_name("DO"):
             return self._parse_block_do(line)
         if t0.is_name("IN"):
@@ -318,6 +321,31 @@ class _StmtParser:
         if not end.tokens[0].is_name("ENDDO"):
             raise ParseError("expected ENDDO", line=end.number)
         return Loop(var, lo, hi, body, step=step)
+
+    def _parse_parallel_do(self, line: Line) -> ParallelLoop:
+        toks = line.tokens[1:]
+        kind = "parallel"
+        if toks and toks[0].is_name("REDUCTION"):
+            kind = "reduction"
+            toks = toks[1:]
+        if not toks or not toks[0].is_name("DO"):
+            raise ParseError("expected DO after PARALLEL", line=line.number)
+        ep = _ExprParser(toks[1:], self.arrays, line.number)
+        var = ep.expect("NAME").text
+        ep.expect("OP", "=")
+        lo = ep.parse_expr()
+        ep.expect("OP", ",")
+        hi = ep.parse_expr()
+        step: Expr = Const(1)
+        if ep.accept("OP", ","):
+            step = ep.parse_expr()
+        if not ep.at_end():
+            raise ParseError("trailing tokens after PARALLEL DO", line=line.number)
+        body = self.parse_body(stop_words=("ENDDO",))
+        end = self.next_line()
+        if not end.tokens[0].is_name("ENDDO"):
+            raise ParseError("expected ENDDO", line=end.number)
+        return ParallelLoop(var, lo, hi, body, step=step, kind=kind)
 
     def _parse_block_do(self, line: Line) -> BlockLoop:
         ep = _ExprParser(line.tokens[2:], self.arrays, line.number)

@@ -41,6 +41,7 @@ from repro.ir.stmt import (
     If,
     InLoop,
     Loop,
+    ParallelLoop,
     Procedure,
     Stmt,
 )
@@ -79,6 +80,7 @@ __all__ = [
     "NodeVisitor",
     "Not",
     "ONE",
+    "ParallelLoop",
     "Procedure",
     "Stmt",
     "Var",

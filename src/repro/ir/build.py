@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Sequence, Union
 
 from repro.ir.expr import ArrayRef, Expr, ExprLike, Var, as_expr
-from repro.ir.stmt import Assign, BlockLoop, If, InLoop, Loop, Stmt
+from repro.ir.stmt import Assign, BlockLoop, If, InLoop, Loop, ParallelLoop, Stmt
 
 
 def sym(name: str) -> Var:
@@ -45,6 +45,22 @@ def do(
 ) -> Loop:
     """``DO var = lo, hi [, step]`` with the body as trailing arguments."""
     return Loop(var, as_expr(lo), as_expr(hi), tuple(body), step=as_expr(step), label=label)
+
+
+def parallel_do(
+    var: str,
+    lo: ExprLike,
+    hi: ExprLike,
+    *body: Stmt,
+    step: ExprLike = 1,
+    kind: str = "parallel",
+    label: str | None = None,
+) -> ParallelLoop:
+    """``PARALLEL [REDUCTION] DO var = lo, hi [, step]`` marker loop."""
+    return ParallelLoop(
+        var, as_expr(lo), as_expr(hi), tuple(body),
+        step=as_expr(step), label=label, kind=kind,
+    )
 
 
 def block_do(var: str, lo: ExprLike, hi: ExprLike, *body: Stmt) -> BlockLoop:

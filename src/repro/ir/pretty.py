@@ -24,7 +24,17 @@ from repro.ir.expr import (
     Not,
     Var,
 )
-from repro.ir.stmt import Assign, BlockLoop, Comment, If, InLoop, Loop, Procedure, Stmt
+from repro.ir.stmt import (
+    Assign,
+    BlockLoop,
+    Comment,
+    If,
+    InLoop,
+    Loop,
+    ParallelLoop,
+    Procedure,
+    Stmt,
+)
 
 _PREC = {"or": 1, "and": 2, "not": 3, "cmp": 4, "+": 5, "-": 5, "*": 6, "/": 6, "div": 6, "**": 7}
 _CMP_F = {"eq": ".EQ.", "ne": ".NE.", "lt": ".LT.", "le": ".LE.", "gt": ".GT.", "ge": ".GE."}
@@ -87,7 +97,10 @@ def _emit(body: Sequence[Stmt], lines: list[str], depth: int) -> None:
             lines.append(f"{pad}{fmt_expr(stmt.target)} = {fmt_expr(stmt.value)}")
         elif isinstance(stmt, Loop):
             step = "" if stmt.step == Const(1) else f", {fmt_expr(stmt.step)}"
-            lines.append(f"{pad}DO {stmt.var} = {fmt_expr(stmt.lo)}, {fmt_expr(stmt.hi)}{step}")
+            kw = "DO"
+            if isinstance(stmt, ParallelLoop):
+                kw = "PARALLEL DO" if stmt.kind == "parallel" else "PARALLEL REDUCTION DO"
+            lines.append(f"{pad}{kw} {stmt.var} = {fmt_expr(stmt.lo)}, {fmt_expr(stmt.hi)}{step}")
             _emit(stmt.body, lines, depth + 1)
             lines.append(f"{pad}ENDDO")
         elif isinstance(stmt, BlockLoop):

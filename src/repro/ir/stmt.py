@@ -78,6 +78,28 @@ class Loop(Stmt):
 
 
 @dataclass(frozen=True, eq=True)
+class ParallelLoop(Loop):
+    """A DO loop annotated safe for concurrent iterations: ``PARALLEL DO``.
+
+    Produced by the ``parallelize`` pass (:mod:`repro.par.detect`) when the
+    dependence test proves no loop-carried dependence at this level
+    (``kind == "parallel"``) or only commutative accumulation
+    (``kind == "reduction"``, printed ``PARALLEL REDUCTION DO``).  It *is* a
+    :class:`Loop` — every analysis, transform, and the serial interpreter
+    treat it identically — but the marker survives pretty-print/parse
+    roundtrips, changes the IR fingerprint, and is audited by
+    ``repro.check`` (``legal/par-*``) and the dynamic race sanitizer.
+    """
+
+    kind: str = "parallel"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.kind not in ("parallel", "reduction"):
+            raise ValueError(f"unsupported ParallelLoop kind {self.kind!r}")
+
+
+@dataclass(frozen=True, eq=True)
 class BlockLoop(Stmt):
     """Section-6 extension ``BLOCK DO var = lo, hi``.
 

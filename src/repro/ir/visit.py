@@ -33,7 +33,17 @@ from repro.ir.expr import (
     Not,
     Var,
 )
-from repro.ir.stmt import Assign, BlockLoop, Comment, If, InLoop, Loop, Procedure, Stmt
+from repro.ir.stmt import (
+    Assign,
+    BlockLoop,
+    Comment,
+    If,
+    InLoop,
+    Loop,
+    Procedure,
+    Stmt,
+    _as_body,
+)
 
 BodyLike = Union[Stmt, Sequence[Stmt], Procedure]
 
@@ -189,13 +199,14 @@ class NodeTransformer:
 
     def generic_visit(self, node: Stmt):
         if isinstance(node, Loop):
-            new = Loop(
-                node.var,
-                self._expr(node.lo),
-                self._expr(node.hi),
-                self.visit_body(node.body),
+            # dataclasses.replace keeps the concrete class (ParallelLoop
+            # markers and their ``kind`` survive generic rewrites).
+            new = _dc_replace(
+                node,
+                lo=self._expr(node.lo),
+                hi=self._expr(node.hi),
+                body=self.visit_body(node.body),
                 step=self._expr(node.step),
-                label=node.label,
             )
         elif isinstance(node, BlockLoop):
             new = BlockLoop(node.var, self._expr(node.lo), self._expr(node.hi), self.visit_body(node.body))
@@ -294,7 +305,7 @@ def substitute(node: Stmt | Expr | Sequence[Stmt], mapping: Mapping[str, Expr]) 
 def rename_loop_var(loop: Loop, new_var: str) -> Loop:
     """Rename a loop's induction variable consistently through its body."""
     body = substitute(loop.body, {loop.var: Var(new_var)})
-    return Loop(new_var, loop.lo, loop.hi, body, step=loop.step, label=loop.label)
+    return _dc_replace(loop, var=new_var, body=_as_body(body))
 
 
 class _LoopReplacer(NodeTransformer):

@@ -116,6 +116,20 @@ def _top(view: dict, k: int) -> list[tuple[str, dict]]:
     return sorted(view.items(), key=lambda kv: -kv[1]["misses"])[:k]
 
 
+def _par_verdicts(result) -> dict[str, str]:
+    """Attribution loop-path key ("K/I/J") -> repro.par static verdict,
+    so the miss table also says which nests could run PARALLEL."""
+    try:
+        from repro.par.detect import classify_procedure
+
+        return {
+            "/".join(v.path): v.verdict
+            for v in classify_procedure(result.procedure, result.ctx)
+        }
+    except Exception:
+        return {}  # blocked/rewritten IR the detector cannot classify
+
+
 def render_profile(
     workload_name: str,
     result,
@@ -145,8 +159,13 @@ def render_profile(
     )
 
     lines.append("\nloops (by misses):")
+    verdicts = _par_verdicts(result)
     for name, row in _top(attribution.by_loop(), top):
-        lines.append(_fmt_row(name, row, totals["misses"]))
+        line = _fmt_row(name, row, totals["misses"])
+        tag = verdicts.get(name)
+        if tag:
+            line += f"  [{tag}]"
+        lines.append(line)
     lines.append("\nstatements (by misses):")
     for name, row in _top(attribution.by_statement(), top):
         lines.append(_fmt_row(name, row, totals["misses"]))

@@ -1,0 +1,62 @@
+"""Loop-parallelism stack (``repro.par``): static detector, dynamic
+race sanitizer, sharded PARALLEL DO execution.
+
+Three mutually checking layers over the same claim — *these iterations
+are independent*:
+
+- :mod:`repro.par.detect` — the static layer.  Classifies every DO loop
+  as ``PARALLEL`` (no loop-carried dependence), ``REDUCTION`` (only
+  commutative accumulation, Sec. 5.2 commutativity reused), or
+  ``SERIAL`` with a concrete witness, and annotates proved loops with
+  :class:`~repro.ir.stmt.ParallelLoop` markers
+  (``PARALLEL [REDUCTION] DO``).
+- :mod:`repro.par.sanitizer` — the dynamic layer.  An instrumented
+  interpreter records per-iteration read/write shadow footprints under
+  every marked loop and reports any cross-iteration conflict, carrying
+  the same ``legal/par-carried-dep`` rule id the static
+  :mod:`repro.check` audit uses for a wrong marker.
+- :mod:`repro.par.shard` — the payoff.  Splits a top-level
+  ``PARALLEL DO`` iteration space across the :mod:`repro.serve` worker
+  pool and merges the shards back into an environment asserted
+  **byte-identical** to the serial interpreter's.
+
+``python -m repro.par`` drives all three; results travel as the
+``repro.par/1`` artifact (:mod:`repro.par.report`).
+"""
+
+from repro.par.detect import (
+    PARALLEL,
+    REDUCTION,
+    SERIAL,
+    VERDICTS,
+    LoopVerdict,
+    annotate_procedure,
+    classify_loop,
+    classify_procedure,
+    verdict_counts,
+)
+from repro.par.report import SCHEMA, build_report, validate_report, write_report
+from repro.par.sanitizer import RaceConflict, RaceSanitizer, SanitizeResult, sanitize
+from repro.par.shard import run_shard, run_sharded
+
+__all__ = [
+    "PARALLEL",
+    "REDUCTION",
+    "SERIAL",
+    "SCHEMA",
+    "VERDICTS",
+    "LoopVerdict",
+    "RaceConflict",
+    "RaceSanitizer",
+    "SanitizeResult",
+    "annotate_procedure",
+    "build_report",
+    "classify_loop",
+    "classify_procedure",
+    "run_shard",
+    "run_sharded",
+    "sanitize",
+    "validate_report",
+    "verdict_counts",
+    "write_report",
+]

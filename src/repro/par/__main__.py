@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.par``."""
+
+import sys
+
+from repro.par.cli import main
+
+sys.exit(main())

@@ -1,0 +1,307 @@
+"""Sharded PARALLEL DO execution over the serve worker pool.
+
+Cashes a static parallelism proof in for wall-clock speedup: a top-level
+``PARALLEL DO`` loop's iteration space is split into contiguous shards,
+each shard runs in its own pool worker, and the parent merges the shards'
+writes back into one environment that is asserted **byte-identical** to
+the plain serial interpreter's.
+
+Shard/merge protocol (DESIGN.md §12):
+
+1. Parent and every worker independently build the same seeded
+   environment (:func:`repro.runtime.interpreter.make_env` is
+   deterministic in ``(procedure, sizes, seed)``) and run the statements
+   *before* the target loop serially.
+2. Worker ``i`` of ``n`` executes the ``i``-th contiguous slice of the
+   iteration list and returns, as plain JSON, the final value of every
+   array element it wrote plus the final values of the scalars the loop
+   body assigns.
+3. The parent applies the array writes shard-by-shard in iteration
+   order, takes scalar finals from the last non-empty shard (a
+   statically-parallel loop's last iteration computes the same values in
+   a shard as it does serially), restores the induction variable, and
+   runs the statements after the loop.
+
+Why byte-identical is achievable: a PARALLEL verdict means no element is
+written in one iteration and touched in another, so each element's final
+value comes from exactly one shard and the floating-point operations are
+the very same ones the serial interpreter performs, in the same
+per-iteration order.  REDUCTION loops are *not* sharded here — their
+merged result would differ by reassociation.
+
+Every shard is an ordinary ``par_shard`` job (:mod:`repro.serve.jobs`):
+it participates in store short-circuiting, retries, and dedup like any
+other job kind.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import PipelineError
+from repro.ir.stmt import ParallelLoop, Procedure
+from repro.par.detect import annotate_procedure
+from repro.runtime.interpreter import Interpreter, execute, make_env
+
+DEFAULT_SHARDS = 2
+
+
+# ---------------------------------------------------------------------------
+# option encoding (job options must be JSON scalars)
+# ---------------------------------------------------------------------------
+
+def encode_sizes(sizes: Mapping[str, object]) -> str:
+    """Canonical ``K=V,...`` string for job options / store keys."""
+    return ",".join(f"{k}={sizes[k]!r}" for k in sorted(sizes))
+
+
+def decode_sizes(text: str) -> dict:
+    out: dict = {}
+    if not text:
+        return out
+    for part in text.split(","):
+        k, _, v = part.partition("=")
+        value = float(v) if ("." in v or "e" in v or "E" in v) else int(v)
+        out[k] = value
+    return out
+
+
+def iteration_slice(lo: int, hi: int, step: int, shard: int, shards: int) -> list[int]:
+    """Contiguous slice of the loop's iteration list owned by ``shard``."""
+    if step == 0:
+        raise PipelineError("zero loop step")
+    if not (0 <= shard < shards):
+        raise PipelineError(f"shard {shard} out of range for {shards} shards")
+    stop = hi + 1 if step > 0 else hi - 1
+    iters = list(range(lo, stop, step))
+    n = len(iters)
+    return iters[shard * n // shards : (shard + 1) * n // shards]
+
+
+def target_loop(proc: Procedure, loop_var: Optional[str] = None) -> tuple[int, ParallelLoop]:
+    """The top-level ``PARALLEL DO`` to shard: (body index, loop).
+
+    Only top-level loops are shardable — the protocol replays everything
+    before the loop serially and everything after it on the merged
+    environment.  ``loop_var`` picks one by induction variable; None takes
+    the first.
+    """
+    for t, stmt in enumerate(proc.body):
+        if isinstance(stmt, ParallelLoop) and stmt.kind == "parallel":
+            if loop_var is None or stmt.var == loop_var:
+                return t, stmt
+    wanted = f"over {loop_var!r} " if loop_var else ""
+    raise PipelineError(
+        f"{proc.name}: no top-level PARALLEL DO loop {wanted}to shard "
+        "(only kind='parallel' markers at procedure body level qualify)"
+    )
+
+
+def _scalars_assigned(loop: ParallelLoop) -> list[str]:
+    from repro.analysis.graph import _scalars_written
+
+    return sorted(_scalars_written(loop))
+
+
+class _WriteRecorder:
+    """Tracer that remembers which elements were stored."""
+
+    def __init__(self):
+        self.writes: dict[str, set] = {}
+
+    def access(self, array: str, index: tuple[int, ...], is_write: bool) -> None:
+        if is_write:
+            self.writes.setdefault(array, set()).add(index)
+
+
+def _json_value(v):
+    if isinstance(v, (np.floating, float)):
+        return float(v)
+    if isinstance(v, (np.integer, int)):
+        return int(v)
+    return v
+
+
+# ---------------------------------------------------------------------------
+# worker side: one shard
+# ---------------------------------------------------------------------------
+
+def run_shard(workload_name: str, options: Mapping[str, object]) -> dict:
+    """Execute one shard of a PARALLEL DO loop (the ``par_shard`` job body).
+
+    Options: ``loop`` (induction var), ``shard``/``shards`` (slice id),
+    ``sizes`` (encoded), ``seed``.  Returns the shard's write set —
+    ``{"writes": {array: [[index...], value] ...}, "scalars": {...}}`` —
+    ready for JSON/store transport.
+    """
+    from repro.pipeline.workloads import get_workload
+
+    workload = get_workload(workload_name)
+    proc, _ = annotate_procedure(workload.build(), workload.context(None))
+    t, loop = target_loop(proc, str(options["loop"]))
+    shard = int(options["shard"])
+    shards = int(options["shards"])
+    seed = int(options.get("seed", 0))
+    sizes = decode_sizes(str(options.get("sizes", ""))) or dict(workload.verify_sizes)
+
+    env = make_env(proc, sizes, seed=seed)
+    interp = Interpreter(env)
+    interp.run(proc.body[:t])
+
+    lo = int(interp.eval(loop.lo))
+    hi = int(interp.eval(loop.hi))
+    step = int(interp.eval(loop.step))
+    iters = iteration_slice(lo, hi, step, shard, shards)
+
+    recorder = _WriteRecorder()
+    interp.tracer = recorder
+    for v in iters:
+        env[loop.var] = v
+        interp.run(loop.body)
+
+    writes = {
+        array: [
+            [list(idx), _json_value(env[array][tuple(i - 1 for i in idx)])]
+            for idx in sorted(indices)
+        ]
+        for array, indices in sorted(recorder.writes.items())
+    }
+    scalars = {
+        name: _json_value(env[name])
+        for name in _scalars_assigned(loop)
+        if name in env
+    }
+    return {
+        "workload": workload_name,
+        "loop": loop.var,
+        "shard": shard,
+        "shards": shards,
+        "iterations": len(iters),
+        "first": iters[0] if iters else None,
+        "last": iters[-1] if iters else None,
+        "writes": writes,
+        "scalars": scalars,
+    }
+
+
+# ---------------------------------------------------------------------------
+# parent side: split, dispatch, merge, verify
+# ---------------------------------------------------------------------------
+
+def _apply_shard(env: dict, result: Mapping) -> None:
+    for array, entries in result["writes"].items():
+        arr = env[array]
+        for idx, value in entries:
+            arr[tuple(i - 1 for i in idx)] = value
+
+
+def run_sharded(
+    workload_name: str,
+    loop_var: Optional[str] = None,
+    shards: int = DEFAULT_SHARDS,
+    workers: Optional[int] = None,
+    sizes: Optional[Mapping[str, object]] = None,
+    seed: int = 0,
+    pool=None,
+    store=None,
+    timeout_s: float = 300.0,
+) -> dict:
+    """Shard a workload's PARALLEL DO across the pool and verify the merge.
+
+    Returns a JSON-ready report with serial/sharded wall times, the
+    measured speedup, per-shard statuses, and ``identical`` — the result
+    of the byte-exact comparison against the plain serial interpreter.
+    Raises :class:`PipelineError` when a shard job fails or the merged
+    arrays differ.
+    """
+    from repro.obs import core as _obs
+    from repro.pipeline.workloads import get_workload
+    from repro.serve.jobs import JobSpec
+    from repro.serve.pool import WorkerPool
+
+    workload = get_workload(workload_name)
+    proc, _ = annotate_procedure(workload.build(), workload.context(None))
+    t, loop = target_loop(proc, loop_var)
+    sizes = dict(sizes) if sizes is not None else dict(workload.verify_sizes)
+    workers = workers if workers is not None else shards
+
+    # serial reference (and its wall time)
+    t0 = time.perf_counter()
+    ref_env = execute(proc, sizes, seed=seed)
+    serial_s = time.perf_counter() - t0
+
+    specs = [
+        JobSpec(
+            kind="par_shard",
+            workload=workload_name,
+            options={
+                "loop": loop.var,
+                "shard": i,
+                "shards": shards,
+                "sizes": encode_sizes(sizes),
+                "seed": seed,
+            },
+            timeout_s=timeout_s,
+            label=f"par:{workload_name}:{loop.var}[{i + 1}/{shards}]",
+        )
+        for i in range(shards)
+    ]
+
+    own_pool = pool is None
+    if own_pool:
+        pool = WorkerPool(workers, store=store)
+    try:
+        with _obs.span(f"par:shard:{workload_name}", cat="par", loop=loop.var):
+            t0 = time.perf_counter()
+            env = make_env(proc, sizes, seed=seed)
+            Interpreter(env).run(proc.body[:t])
+            outcomes = pool.run(specs)
+            failed = [o for o in outcomes if not o.ok]
+            if failed:
+                raise PipelineError(
+                    f"{len(failed)}/{shards} shard jobs failed: "
+                    + "; ".join(str(o.error) for o in failed)
+                )
+            last_nonempty = None
+            for outcome in outcomes:
+                _apply_shard(env, outcome.value)
+                if outcome.value["iterations"]:
+                    last_nonempty = outcome.value
+            if last_nonempty is not None:
+                for name, value in last_nonempty["scalars"].items():
+                    env[name] = value
+                env[loop.var] = last_nonempty["last"]
+            Interpreter(env).run(proc.body[t + 1 :])
+            sharded_s = time.perf_counter() - t0
+    finally:
+        if own_pool:
+            pool.close()
+
+    mismatched = [
+        a.name
+        for a in proc.arrays
+        if env[a.name].tobytes() != ref_env[a.name].tobytes()
+    ]
+    if mismatched:
+        raise PipelineError(
+            f"sharded run diverged from serial on array(s): {', '.join(mismatched)}"
+        )
+    checksum = float(sum(float(np.sum(env[a.name])) for a in proc.arrays))
+    return {
+        "workload": workload_name,
+        "loop": loop.var,
+        "shards": shards,
+        "workers": workers,
+        "sizes": {k: _json_value(v) for k, v in sizes.items()},
+        "seed": seed,
+        "iterations": sum(o.value["iterations"] for o in outcomes),
+        "statuses": [o.status for o in outcomes],
+        "serial_s": round(serial_s, 4),
+        "sharded_s": round(sharded_s, 4),
+        "speedup": round(serial_s / sharded_s, 3) if sharded_s > 0 else None,
+        "identical": True,
+        "checksum": checksum,
+    }

@@ -582,3 +582,42 @@ register(
     _givens_precheck,
     _givens_run,
 )
+
+
+# ---------------------------------------------------------------------------
+# parallelize — mark proved loops PARALLEL [REDUCTION] DO (repro.par)
+# ---------------------------------------------------------------------------
+
+def _parallelize_precheck(proc: Procedure, ctx: Assumptions, options: dict) -> Optional[str]:
+    if not find_loops(proc):
+        return "procedure has no loops"
+    only = options.get("loop")
+    if only is not None and not any(l.var == only for l in find_loops(proc)):
+        return f"no loop over {only!r}"
+    return None
+
+
+def _parallelize_run(proc: Procedure, ctx: Assumptions, options: dict) -> PassOutcome:
+    from repro.par.detect import annotate_procedure, verdict_counts
+
+    only = options.get("loop")
+    new, verdicts = annotate_procedure(
+        proc, ctx, loops=None if only is None else (only,)
+    )
+    detail = dict(verdict_counts(verdicts))
+    detail["loops"] = [v.to_dict() for v in verdicts]
+    return PassOutcome(new, new != proc, detail)
+
+
+register(
+    PassInfo(
+        "parallelize",
+        "classify every loop PARALLEL / REDUCTION / SERIAL by loop-carried "
+        "dependence (repro.par) and annotate proved loops with "
+        "PARALLEL [REDUCTION] DO markers",
+        options=("loop",),
+        precondition="procedure has loops",
+    ),
+    _parallelize_precheck,
+    _parallelize_run,
+)

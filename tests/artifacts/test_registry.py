@@ -10,6 +10,7 @@ from repro.artifacts.registry import (
     MATRIX_REPORT,
     OBS_METRICS,
     OBS_SNAPSHOT,
+    PAR_REPORT,
     PERF_BASELINE,
     PERF_GATE,
     PIPELINE_BENCH,
@@ -29,6 +30,7 @@ from repro.errors import ArtifactError
 ALL_IDS = (
     PIPELINE_TRACE, PIPELINE_BENCH, OBS_METRICS, OBS_SNAPSHOT,
     CHECK_REPORT, SERVE_REPORT, MATRIX_REPORT, PERF_GATE, PERF_BASELINE,
+    PAR_REPORT,
 )
 
 

@@ -13,6 +13,11 @@ def test_rules_listing(capsys):
     assert "ir/zero-step" in out
     assert "legal/block-carried-recurrence" in out
     assert "lint/blockable" in out
+    assert "legal/par-carried-dep" in out
+    assert "legal/par-reduction-shape" in out
+    assert "lint/par-parallel" in out
+    assert "lint/par-reduction" in out
+    assert "lint/par-serial" in out
 
 
 def test_no_workload_is_usage_error(capsys):
@@ -38,3 +43,12 @@ def test_two_workloads_one_invocation(capsys):
     assert main(["conv", "matmul"]) == 0
     out = capsys.readouterr().out
     assert "conv" in out and "matmul" in out
+
+
+def test_report_carries_par_classifications(tmp_path):
+    path = tmp_path / "report.json"
+    assert main(["matmul", "--json", str(path)]) == 0
+    doc = payload_of(json.loads(path.read_text()))
+    rules = {d["rule"] for d in doc["diagnostics"]}
+    assert "lint/par-parallel" in rules
+    assert "lint/par-reduction" in rules

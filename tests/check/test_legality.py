@@ -201,3 +201,84 @@ def test_if_inspection_guarded_body_is_silent():
                assign(ref("B", "I"), Const(0))))
     )
     assert precheck("if_inspection", p, N2, {"loop": "I"}) == []
+
+
+# --- parallelize: the PARALLEL [REDUCTION] DO marker audit ----------------
+
+from repro.ir.build import parallel_do  # noqa: E402
+
+
+def test_wrong_parallel_marker_flagged():
+    p = proc_of(parallel_do("I", 2, "N",
+                            assign(ref("B", "I"),
+                                   ref("B", Var("I") - Const(1)) + Const(1))))
+    diags = precheck("parallelize", p, N2, {})
+    assert "legal/par-carried-dep" in rules_of(diags)
+    assert all(d.severity == Severity.ERROR for d in diags)
+
+
+def test_correct_parallel_marker_is_silent():
+    p = proc_of(parallel_do("I", 1, "N",
+                            assign(ref("B", "I"), ref("B", "I") + Const(1))))
+    assert precheck("parallelize", p, N2, {}) == []
+
+
+def test_parallel_marker_over_scalar_recurrence_flagged():
+    p = proc_of(parallel_do("I", 1, "N",
+                            assign(ref("B", "I"), Var("T")),
+                            assign("T", ref("B", "I") + Const(1))))
+    diags = precheck("parallelize", p, N2, {})
+    assert "legal/par-carried-dep" in rules_of(diags)
+
+
+def test_reduction_marker_on_true_accumulation_is_silent():
+    p = proc_of(parallel_do("I", 1, "N",
+                            assign(ref("B", Const(1)),
+                                   ref("B", Const(1)) + ref("A", "I", "I")),
+                            kind="reduction"))
+    assert precheck("parallelize", p, N2, {}) == []
+
+
+def test_reduction_marker_over_non_accumulation_flagged():
+    # B(1) = I is not acc = acc op term
+    p = proc_of(parallel_do("I", 1, "N",
+                            assign(ref("B", Const(1)), Var("I") + Const(0)),
+                            kind="reduction"))
+    diags = precheck("parallelize", p, N2, {})
+    assert "legal/par-reduction-shape" in rules_of(diags)
+
+
+def test_reduction_marker_with_mixed_operators_flagged():
+    p = proc_of(
+        assign("S", Const(0)),
+        parallel_do("I", 1, "N",
+                    assign("S", Var("S") + ref("B", "I")),
+                    assign("S", Var("S") * Const(2)),
+                    kind="reduction"),
+    )
+    diags = precheck("parallelize", p, N2, {})
+    assert "legal/par-reduction-shape" in rules_of(diags)
+
+
+def test_parallelize_postcheck_audits_planted_markers():
+    before = proc_of(do("I", 2, "N",
+                        assign(ref("B", "I"),
+                               ref("B", Var("I") - Const(1)) + Const(1))))
+    after = proc_of(parallel_do("I", 2, "N",
+                                assign(ref("B", "I"),
+                                       ref("B", Var("I") - Const(1))
+                                       + Const(1))))
+    diags = postcheck("parallelize", before, after, N2, {})
+    assert "legal/par-carried-dep" in rules_of(diags)
+
+
+def test_parallelize_postcheck_of_real_annotation_is_silent():
+    from repro.par.detect import annotate_procedure
+    from repro.pipeline.workloads import get_workload
+
+    for name in ("matmul", "conv", "givens"):
+        w = get_workload(name)
+        proc = w.build()
+        ctx = w.context(None)
+        marked, _ = annotate_procedure(proc, ctx)
+        assert postcheck("parallelize", proc, marked, ctx, {}) == [], name

@@ -78,3 +78,57 @@ def test_diagnostic_mirrors_verdict():
     d = lint_loop(givens_point_ir(), "L", ctx=MN).diagnostic()
     assert d.rule == "lint/not-blockable"
     assert d.severity.value == "warning"
+
+
+# --- lint/par-* : loop-parallelism classifications ------------------------
+
+def test_lint_parallelism_one_diagnostic_per_loop():
+    from repro.check.linter import lint_parallelism
+    from repro.ir.visit import find_loops
+    from repro.pipeline.workloads import get_workload
+
+    w = get_workload("matmul")
+    proc = w.build()
+    diags = lint_parallelism(proc, w.context(None))
+    assert len(diags) == len(find_loops(proc))
+    assert {d.rule for d in diags} <= {
+        "lint/par-parallel", "lint/par-reduction", "lint/par-serial"
+    }
+    assert all(d.severity.value == "info" for d in diags)
+
+
+def test_lint_parallelism_rules_match_detector_verdicts():
+    from repro.check.linter import lint_parallelism
+    from repro.par.detect import classify_procedure
+    from repro.pipeline.workloads import get_workload
+
+    for name in ("matmul", "lu_nopivot", "conv"):
+        w = get_workload(name)
+        proc = w.build()
+        ctx = w.context(None)
+        rules = [d.rule for d in lint_parallelism(proc, ctx)]
+        verdicts = [f"lint/par-{v.verdict}"
+                    for v in classify_procedure(proc, ctx)]
+        assert rules == verdicts, name
+
+
+def test_lint_par_serial_names_the_witness_edge():
+    from repro.check.linter import lint_parallelism
+    from repro.pipeline.workloads import get_workload
+
+    w = get_workload("lu_nopivot")
+    diags = lint_parallelism(w.build(), w.context(None))
+    serial = [d for d in diags if d.rule == "lint/par-serial"]
+    assert serial
+    assert any("witness" in d.message and "direction" in d.message
+               for d in serial)
+
+
+def test_par_rules_in_catalogue():
+    from repro.check.diagnostics import RULES
+
+    for rule in ("legal/par-carried-dep", "legal/par-reduction-shape",
+                 "lint/par-parallel", "lint/par-reduction",
+                 "lint/par-serial"):
+        assert rule in RULES
+        assert RULES[rule].summary

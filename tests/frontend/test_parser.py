@@ -184,3 +184,40 @@ class TestExtensions:
         assert isinstance(first, InLoop) and first.lo is None
         assert isinstance(second, InLoop) and second.lo is not None
         assert second.hi == Call("LAST", (Var("K"),))
+
+
+class TestParallelDo:
+    def test_parallel_do(self):
+        from repro.ir.stmt import ParallelLoop
+
+        (s,) = parse_statements("PARALLEL DO I = 1, N\nX = I\nENDDO")
+        assert isinstance(s, ParallelLoop)
+        assert s.kind == "parallel"
+        assert s.var == "I"
+
+    def test_parallel_reduction_do_with_step(self):
+        from repro.ir.stmt import ParallelLoop
+
+        (s,) = parse_statements(
+            "PARALLEL REDUCTION DO K = 2, N, 2\nX = K\nENDDO")
+        assert isinstance(s, ParallelLoop)
+        assert s.kind == "reduction"
+        assert s.step == Const(2)
+
+    def test_parallel_without_do_rejected(self):
+        with pytest.raises(ParseError, match="expected DO"):
+            parse_statements("PARALLEL I = 1, N\nX = I\nENDDO")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_statements("PARALLEL DO I = 1, N EXTRA\nX = I\nENDDO")
+
+    def test_nested_markers(self):
+        from repro.ir.stmt import ParallelLoop
+
+        (s,) = parse_statements(
+            "PARALLEL DO I = 1, N\nDO J = 1, N\nX = I\nENDDO\nENDDO")
+        assert isinstance(s, ParallelLoop)
+        (inner,) = s.body
+        assert isinstance(inner, Loop)
+        assert not isinstance(inner, ParallelLoop)

@@ -151,3 +151,21 @@ class TestCliErrors:
     def test_bad_sizes_is_usage_error(self, capsys):
         assert main(["conv", "--sizes", "N1"]) == 2
         assert "--sizes" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+class TestParVerdictColumn:
+    def test_loop_table_carries_parallelism_verdicts(self, capsys):
+        # satellite: the per-loop miss table names each nest's repro.par
+        # classification so hot serial loops are visible at a glance
+        rc = main(["matmul"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        loop_lines = [
+            line for line in
+            out.split("loops (by misses):")[1].split("statements")[0].splitlines()
+            if "misses" in line
+        ]
+        tagged = [l for l in loop_lines if "[parallel]" in l
+                  or "[reduction]" in l or "[serial]" in l]
+        assert tagged, out

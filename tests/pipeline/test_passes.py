@@ -134,3 +134,67 @@ class TestNoopVsInfeasible:
         result = run_passes(p, [("block", {"loop": "K"})], on_infeasible="skip")
         assert result.spans[0].status == "infeasible"
         assert result.procedure == p
+
+
+class TestParallelize:
+    def test_registered_with_options(self):
+        info = passes.get_pass("parallelize").info
+        assert "loop" in info.options
+        assert info.precondition
+
+    def test_annotates_matmul(self):
+        from repro.ir.stmt import ParallelLoop
+        from repro.ir.visit import walk_stmts
+        from repro.pipeline.workloads import get_workload
+
+        w = get_workload("matmul")
+        result = run_passes(w.build(), ["parallelize"], ctx=w.context(None))
+        span = result.spans[0]
+        assert span.status == "applied"
+        assert span.detail["parallel"] == 2
+        assert span.detail["reduction"] == 1
+        assert span.detail["serial"] == 0
+        marked = [s for s in walk_stmts(result.procedure)
+                  if isinstance(s, ParallelLoop)]
+        assert len(marked) == 3
+
+    def test_loop_option_restricts_annotation(self):
+        from repro.ir.stmt import ParallelLoop
+        from repro.ir.visit import walk_stmts
+        from repro.pipeline.workloads import get_workload
+
+        w = get_workload("matmul")
+        result = run_passes(
+            w.build(), [("parallelize", {"loop": "J"})], ctx=w.context(None)
+        )
+        marked = [s for s in walk_stmts(result.procedure)
+                  if isinstance(s, ParallelLoop)]
+        assert [m.var for m in marked] == ["J"]
+
+    def test_all_serial_workload_is_noop(self):
+        from repro.pipeline.workloads import get_workload
+
+        w = get_workload("lu_nopivot")
+        result = run_passes(w.build(), ["parallelize"], ctx=w.context(None))
+        assert result.spans[0].status == "noop"
+        assert result.spans[0].detail["serial"] == 4
+        assert result.procedure == w.build()
+
+    def test_missing_loop_is_infeasible(self):
+        from repro.pipeline.workloads import get_workload
+
+        w = get_workload("matmul")
+        result = run_passes(
+            w.build(), [("parallelize", {"loop": "Z"})],
+            ctx=w.context(None), on_infeasible="skip",
+        )
+        assert result.spans[0].status == "infeasible"
+
+    def test_check_mode_accepts_the_annotation(self):
+        from repro.pipeline.workloads import get_workload
+
+        w = get_workload("conv")
+        result = run_passes(
+            w.build(), ["parallelize"], ctx=w.context(None), check=True
+        )
+        assert result.spans[0].status == "applied"

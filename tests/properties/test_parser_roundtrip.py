@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.frontend import parse_procedure
 from repro.ir.build import assign, block_do, do, if_, in_do, ref
-from repro.ir.expr import Call, Compare, Const, Min, Max, Var
+from repro.ir.expr import Call, Compare, Const, Min, Max, Var, as_expr
 from repro.ir.pretty import to_fortran
 from repro.ir.stmt import ArrayDecl, Procedure
 from repro.ir.visit import strip_labels
@@ -102,6 +102,44 @@ def block_procedures(draw):
 def test_block_roundtrip(proc):
     text = to_fortran(proc)
     assert "BLOCK DO" in text and "IN K DO" in text
+    back = parse_procedure(text)
+    assert simplify_procedure(strip_labels(back)).body == simplify_procedure(proc).body
+    assert back.params == proc.params
+    assert back.arrays == proc.arrays
+
+
+@st.composite
+def parallel_procedures(draw):
+    """Nests where any level may carry a PARALLEL [REDUCTION] DO marker."""
+    from repro.ir.stmt import ParallelLoop
+
+    n_loops = draw(st.integers(min_value=1, max_value=3))
+    idx = ["I", "J", "K"][:n_loops]
+    stmt = assign(
+        ref("A", draw(exprs(idx_vars=tuple(idx)))),
+        ref("A", draw(exprs(idx_vars=tuple(idx)))) + Const(1.0),
+    )
+    kinds = draw(
+        st.lists(st.sampled_from([None, "parallel", "reduction"]),
+                 min_size=n_loops, max_size=n_loops)
+    )
+    for v, kind in zip(reversed(idx), reversed(kinds)):
+        lo = draw(exprs(depth=1, idx_vars=tuple(x for x in idx if x != v)))
+        if kind is None:
+            stmt = do(v, lo, "N", stmt)
+        else:
+            stmt = ParallelLoop(v, as_expr(lo), Var("N"), (stmt,), kind=kind)
+    return Procedure(
+        "RTP", ("N",), (ArrayDecl("A", (Var("N") * 8 + 64,)),), (stmt,)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(parallel_procedures())
+def test_parallel_do_roundtrip(proc):
+    """PARALLEL / PARALLEL REDUCTION DO markers survive print->parse,
+    including the ``kind`` distinction at every nesting level."""
+    text = to_fortran(proc)
     back = parse_procedure(text)
     assert simplify_procedure(strip_labels(back)).body == simplify_procedure(proc).body
     assert back.params == proc.params
