@@ -70,6 +70,26 @@ _r.register(
     "sharded-run speedup)",
 )
 _r.register(
+    _r.DAEMON_STATUS,
+    validate="repro.daemon.status:validate_status",
+    flatten="repro.daemon.status:flatten_status",
+    description="compile-daemon status snapshot (admission, queue, pool, "
+    "store, latency)",
+)
+_r.register(
+    _r.SERVE_LOAD,
+    validate="repro.load.report:validate_report",
+    flatten="repro.load.report:flatten_report",
+    description="open-loop load-generator report (ramp steps, latency "
+    "quantiles, saturation knee)",
+)
+_r.register(
+    _r.SERVE_STORE,
+    validate="repro.serve.service:validate_store_ops",
+    flatten="repro.serve.service:flatten_store_ops",
+    description="artifact-store maintenance record (stats / gc outcome)",
+)
+_r.register(
     _r.PERF_BASELINE,
     validate="repro.perf.gate:validate_baseline",
     flatten="repro.perf.gate:flatten_baseline",

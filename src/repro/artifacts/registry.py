@@ -40,6 +40,9 @@ MATRIX_REPORT = "repro.matrix/1"
 PERF_GATE = "repro.perf.gate/1"
 PERF_BASELINE = "repro.perf.baseline/1"
 PAR_REPORT = "repro.par/1"
+DAEMON_STATUS = "repro.daemon.status/1"
+SERVE_LOAD = "repro.serve.load/1"
+SERVE_STORE = "repro.serve.store/1"
 
 _Hook = Optional[Union[str, Callable]]
 

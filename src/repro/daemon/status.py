@@ -1,0 +1,132 @@
+"""The ``repro.daemon.status/1`` payload: build, validate, flatten.
+
+.. code-block:: text
+
+    {
+      'schema': 'repro.daemon.status/1',
+      'state': 'running' | 'draining',
+      'pid': 1234,
+      'endpoint': {'host': '127.0.0.1', 'port': 43117},
+      'started_s': 1754650000.1,          # epoch seconds
+      'uptime_s': 17.3,
+      'config': {'workers', 'queue_limit', 'deadline_s', 'max_retries'},
+      'requests': {
+        'received': 12,                    # everything that reached admission
+        'accepted': 9,                     # entered the queue (or memory hit)
+        'shed': 2,                         # bounced with daemon/saturated
+        'rejected': 1,                     # bad request / draining
+        'deadline': 0,                     # waited past their deadline
+        'memory_hits': 3,                  # answered from the hot cache
+        'completed': {'hit': 2, 'computed': 4, ...}   # per pool status
+      },
+      'queue': {'outstanding': 1, 'limit': 16},
+      'mem_cache': {'entries': 4, 'capacity': 1024, 'hits': 3},
+      'pool': {...WorkerPool.stats()...},
+      'store': {...ArtifactStore.stats()...},
+      'latency': {'request_s': {count,...,p50,p95,p99},
+                  'hit_s': {...}, 'computed_s': {...}}
+    }
+
+``requests.completed`` counts resolved pool outcomes by their
+``repro.serve/1`` status vocabulary; ``memory_hits`` are answered
+before the scheduler ever sees them, so they appear under
+``requests.memory_hits`` (and in ``latency.hit_s``) but not under
+``completed``.  :func:`flatten_status` emits ``daemon:*`` perf
+metrics.  Latency quantiles are machine-dependent — record them for
+trend, never gate them at threshold 0.
+"""
+
+from __future__ import annotations
+
+from repro.artifacts.flatten import HIST_FIELDS, Sink
+from repro.artifacts.registry import DAEMON_STATUS as SCHEMA
+from repro.serve.pool import STATUSES
+
+STATES = ("running", "draining")
+
+#: request counters every status payload carries
+REQUEST_FIELDS = (
+    "received", "accepted", "shed", "rejected", "deadline", "memory_hits",
+)
+
+#: latency streams the daemon tracks per request
+LATENCY_KEYS = ("request_s", "hit_s", "computed_s")
+
+
+def validate_status(doc: dict) -> list[str]:
+    """Problems with a daemon-status payload (empty = valid) — the
+    registered payload check for :data:`SCHEMA`."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("state") not in STATES:
+        errors.append(f"unknown state {doc.get('state')!r} (want {STATES})")
+    if not isinstance(doc.get("pid"), int):
+        errors.append("missing or non-integer field 'pid'")
+    endpoint = doc.get("endpoint")
+    if not isinstance(endpoint, dict) or not isinstance(
+        endpoint.get("port"), int
+    ):
+        errors.append("endpoint missing or lacks an integer port")
+    for key in ("started_s", "uptime_s"):
+        if not isinstance(doc.get(key), (int, float)):
+            errors.append(f"missing or non-numeric field {key!r}")
+    for key in ("config", "queue", "mem_cache", "pool", "store", "latency"):
+        if not isinstance(doc.get(key), dict):
+            errors.append(f"missing or non-object field {key!r}")
+    requests = doc.get("requests")
+    if not isinstance(requests, dict):
+        errors.append("missing or non-object field 'requests'")
+        return errors
+    for key in REQUEST_FIELDS:
+        if not isinstance(requests.get(key), int):
+            errors.append(f"requests.{key} missing or non-integer")
+    completed = requests.get("completed")
+    if not isinstance(completed, dict):
+        errors.append("requests.completed missing or non-object")
+    else:
+        unknown = set(completed) - set(STATUSES)
+        if unknown:
+            errors.append(
+                f"requests.completed has unknown status(es) {sorted(unknown)}"
+            )
+    if isinstance(doc.get("queue"), dict):
+        for key in ("outstanding", "limit"):
+            if not isinstance(doc["queue"].get(key), int):
+                errors.append(f"queue.{key} missing or non-integer")
+    if isinstance(doc.get("latency"), dict):
+        for key in LATENCY_KEYS:
+            h = doc["latency"].get(key)
+            if not isinstance(h, dict):
+                errors.append(f"latency missing histogram {key!r}")
+                continue
+            missing = {"count", "mean", "p50", "p95", "p99"} - set(h)
+            if missing:
+                errors.append(f"latency[{key!r}] missing {sorted(missing)}")
+    return errors
+
+
+def flatten_status(doc: dict) -> dict:
+    """Flat perf metrics for a daemon-status payload — the registered
+    perf ingestion hook for :data:`SCHEMA`."""
+    sink = Sink()
+    sink.put("daemon:uptime_s", doc.get("uptime_s"))
+    requests = doc.get("requests") or {}
+    for key in REQUEST_FIELDS:
+        sink.put(f"daemon:requests.{key}", requests.get(key))
+    for status, count in sorted((requests.get("completed") or {}).items()):
+        sink.put(f"daemon:completed.{status}", count)
+    queue = doc.get("queue") or {}
+    sink.put("daemon:queue.outstanding", queue.get("outstanding"))
+    mem = doc.get("mem_cache") or {}
+    for key in ("entries", "hits"):
+        sink.put(f"daemon:mem_cache.{key}", mem.get(key))
+    pool = doc.get("pool") or {}
+    for key in ("busy_s", "respawns", "coalesced"):
+        sink.put(f"daemon:pool.{key}", pool.get(key))
+    store = doc.get("store") or {}
+    for key in ("hits", "misses", "writes", "entries"):
+        sink.put(f"daemon:store.{key}", store.get(key))
+    for key, h in sorted((doc.get("latency") or {}).items()):
+        sink.put_summary(f"daemon:latency.{key}", h, HIST_FIELDS)
+    return sink.metrics

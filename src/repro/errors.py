@@ -58,6 +58,17 @@ class MachineError(ReproError):
     """Invalid machine/cache configuration."""
 
 
+class DaemonError(ReproError):
+    """The persistent compile service (:mod:`repro.daemon`) could not
+    honor a request: the daemon is not running, the state file is stale,
+    a start/stop handshake timed out, or a client call failed."""
+
+
+class LoadError(ReproError):
+    """The open-loop load generator (:mod:`repro.load`) was given a
+    malformed grid, or the target daemon could not be reached."""
+
+
 class MatrixError(ReproError):
     """An experiment grid (:mod:`repro.matrix`) is malformed: unknown
     factor, empty or duplicate levels, a bad results database, or a

@@ -1,0 +1,160 @@
+"""Command-line front end: ``python -m repro.load``.
+
+Subcommands::
+
+    run GRID      ramp a grid against the resident daemon
+    grids         list the builtin grids
+
+``GRID`` is a JSON file path or a builtin name (``quick``, ``bench``).
+Examples::
+
+    python -m repro.daemon start --workers 2 --queue-limit 8
+    python -m repro.load run quick --out BENCH_serve.json
+    python -m repro.load run grid.json --deadline 10 --store-dir /tmp/cache
+    python -m repro.daemon stop
+
+The report is a self-validated ``repro.serve.load/1`` envelope; with
+``--out`` it is also landed in the artifact store sink so ``repro.perf
+record`` can ingest its ``load:*`` metrics from the same file.
+
+Exit status: 0 when the ramp ran and the report validates, 1 when any
+step saw transport errors, 2 for usage errors or no reachable daemon.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.errors import LoadError, ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.load",
+        description="open-loop load generator for the repro.daemon "
+        "compile service",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="ramp a grid against the daemon")
+    run.add_argument("grid", metavar="GRID",
+                     help="grid JSON file, or a builtin name "
+                     "(see 'grids')")
+    run.add_argument("--store-dir", metavar="PATH",
+                     help="artifact store root the daemon advertises in "
+                     "(default .repro-cache/ or $REPRO_CACHE_DIR)")
+    run.add_argument("--host", help="daemon host (default: from the "
+                     "endpoint record)")
+    run.add_argument("--port", type=int, help="daemon port (default: from "
+                     "the endpoint record)")
+    run.add_argument("--deadline", type=float, metavar="S",
+                     help="per-request deadline override")
+    run.add_argument("--out", metavar="PATH",
+                     help="write the repro.serve.load/1 envelope here")
+    run.add_argument("--json", action="store_true",
+                     help="print the envelope instead of the summary")
+
+    sub.add_parser("grids", help="list the builtin grids")
+    return p
+
+
+def _load_grid(name: str) -> dict:
+    from repro.load.gen import BUILTIN_GRIDS
+
+    if name in BUILTIN_GRIDS:
+        return json.loads(json.dumps(BUILTIN_GRIDS[name]))  # deep copy
+    try:
+        with open(name, encoding="utf-8") as fh:
+            return json.load(fh)
+    except OSError as e:
+        raise LoadError(
+            f"no builtin grid or readable file {name!r} ({e})"
+        ) from e
+    except json.JSONDecodeError as e:
+        raise LoadError(f"grid file {name!r} is not valid JSON: {e}") from e
+
+
+def _print_summary(payload: dict) -> None:
+    for step in payload["steps"]:
+        outcomes = ", ".join(
+            f"{v} {k}" for k, v in step["outcomes"].items()
+        ) or "none"
+        p50 = step["latency"]["request_s"]["p50"]
+        print(f"  rate {step['rate']:g}/s: {step['offered']} offered "
+              f"-> {outcomes}; p50 {p50 * 1000:.1f} ms, "
+              f"throughput {step['throughput']:g}/s")
+    a = payload["analysis"]
+    if a["warm_count"] and a["cold_count"]:
+        print(f"warm p50 {a['warm_p50_s'] * 1000:.2f} ms over "
+              f"{a['warm_count']} hit(s) vs cold p50 "
+              f"{a['cold_p50_s'] * 1000:.1f} ms over {a['cold_count']} "
+              f"compute(s): {a['warm_speedup']:g}x")
+    knee = a["knee"]
+    if knee:
+        print(f"saturation knee at {knee['rate']:g}/s "
+              f"({knee['shed']} shed; accepted p95 "
+              f"{knee['accepted_p95_s'] * 1000:.1f} ms); "
+              f"max clean rate {a['max_clean_rate']:g}/s")
+    else:
+        print(f"no saturation knee reached "
+              f"(max clean rate {a['max_clean_rate']:g}/s)")
+
+
+def _cmd_run(args) -> int:
+    from repro.artifacts import publish
+    from repro.daemon import state as _state
+    from repro.load.gen import run_grid
+    from repro.load.report import validate_report
+    from repro.serve.store import ArtifactStore
+
+    grid = _load_grid(args.grid)
+    if args.host and args.port:
+        host, port = args.host, args.port
+    else:
+        host, port = _state.endpoint_for(args.store_dir)
+    payload = run_grid(
+        grid, host, port,
+        deadline_s=args.deadline,
+        progress=None if args.json else print,
+    )
+    problems = validate_report(payload)
+    if problems:  # self-check: never ship a malformed artifact
+        for problem in problems:
+            print(f"invalid report: {problem}", file=sys.stderr)
+        return 2
+    store = ArtifactStore(args.store_dir) if args.out else None
+    envelope = publish(args.out, payload, producer=__package__, store=store)
+    if args.json:
+        print(json.dumps(envelope, indent=2))
+    else:
+        _print_summary(payload)
+        if args.out:
+            print(f"load report written to {args.out}")
+    errored = sum(
+        (step["outcomes"].get("error", 0)) for step in payload["steps"]
+    )
+    return 1 if errored else 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "grids":
+            from repro.load.gen import BUILTIN_GRIDS
+
+            for name, grid in sorted(BUILTIN_GRIDS.items()):
+                rates = ", ".join(
+                    f"{s['rate']:g}" for s in grid["steps"]
+                )
+                print(f"  {name:<8} rates {rates} /s, "
+                      f"{len(grid['mix'])} mix entries")
+            return 0
+        raise LoadError(f"unknown command {args.command!r}")
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2

@@ -12,6 +12,7 @@ Examples::
     python -m repro.par classify --all
     python -m repro.par sanitize matmul conv
     python -m repro.par run matmul --shards 2 --size N=48
+    python -m repro.par run conv --shards 2 --chunk 4
     python -m repro.par bench --json BENCH_par.json --run conv
 
 ``classify`` prints the detector's verdict (PARALLEL / REDUCTION /
@@ -123,10 +124,12 @@ def _cmd_run(args) -> int:
         workers=args.workers,
         sizes=_sizes(args),
         seed=args.seed,
+        chunk=args.chunk,
     )
+    grain = f", chunk {result['chunk']}" if result["chunk"] else ""
     print(f"{result['workload']}: PARALLEL DO {result['loop']} "
           f"({result['iterations']} iterations) over {result['shards']} "
-          f"shard(s), {result['workers']} worker(s)")
+          f"shard(s), {result['workers']} worker(s){grain}")
     print(f"  serial  {result['serial_s']:.4f}s")
     print(f"  sharded {result['sharded_s']:.4f}s  "
           f"(speedup {result['speedup']}x)")
@@ -156,7 +159,8 @@ def _cmd_bench(args) -> int:
     run = None
     if args.run:
         run = run_sharded(args.run, shards=args.shards, workers=args.workers,
-                          sizes=_sizes(args), seed=args.seed)
+                          sizes=_sizes(args), seed=args.seed,
+                          chunk=args.chunk)
         print(f"sharded {args.run}: speedup {run['speedup']}x, "
               f"identical={run['identical']}")
     doc = build_report(
@@ -200,6 +204,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="induction variable of the loop to shard "
                    "(default: first top-level PARALLEL DO)")
     r.add_argument("--shards", type=int, default=2)
+    r.add_argument("--chunk", type=int, default=0, metavar="N",
+                   help="round-robin chunk granularity in iterations "
+                   "(default 0 = contiguous shards)")
     r.add_argument("--workers", type=int, default=None)
     r.add_argument("--size", action="append", metavar="K=V",
                    help="override a size parameter (repeatable)")
@@ -216,6 +223,9 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--run", metavar="WORKLOAD",
                    help="also record one sharded PARALLEL DO execution")
     b.add_argument("--shards", type=int, default=2)
+    b.add_argument("--chunk", type=int, default=0, metavar="N",
+                   help="round-robin chunk granularity for --run "
+                   "(default 0 = contiguous shards)")
     b.add_argument("--workers", type=int, default=None)
     b.add_argument("--size", action="append", metavar="K=V")
     b.add_argument("--seed", type=int, default=0)

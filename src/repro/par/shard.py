@@ -1,10 +1,11 @@
 """Sharded PARALLEL DO execution over the serve worker pool.
 
 Cashes a static parallelism proof in for wall-clock speedup: a top-level
-``PARALLEL DO`` loop's iteration space is split into contiguous shards,
-each shard runs in its own pool worker, and the parent merges the shards'
-writes back into one environment that is asserted **byte-identical** to
-the plain serial interpreter's.
+``PARALLEL DO`` loop's iteration space is split into shards (contiguous
+blocks by default, round-robin chunks of ``N`` iterations with
+``chunk=N``), each shard runs in its own pool worker, and the parent
+merges the shards' writes back into one environment that is asserted
+**byte-identical** to the plain serial interpreter's.
 
 Shard/merge protocol (DESIGN.md §12):
 
@@ -16,10 +17,11 @@ Shard/merge protocol (DESIGN.md §12):
    iteration list and returns, as plain JSON, the final value of every
    array element it wrote plus the final values of the scalars the loop
    body assigns.
-3. The parent applies the array writes shard-by-shard in iteration
-   order, takes scalar finals from the last non-empty shard (a
+3. The parent applies the array writes shard-by-shard, takes scalar
+   finals from the shard that owns the *globally last* iteration (a
    statically-parallel loop's last iteration computes the same values in
-   a shard as it does serially), restores the induction variable, and
+   a shard as it does serially; under chunking that owner is not
+   necessarily the last shard), restores the induction variable, and
    runs the statements after the loop.
 
 Why byte-identical is achievable: a PARALLEL verdict means no element is
@@ -69,16 +71,35 @@ def decode_sizes(text: str) -> dict:
     return out
 
 
-def iteration_slice(lo: int, hi: int, step: int, shard: int, shards: int) -> list[int]:
-    """Contiguous slice of the loop's iteration list owned by ``shard``."""
+def iteration_slice(
+    lo: int, hi: int, step: int, shard: int, shards: int, chunk: int = 0
+) -> list[int]:
+    """The slice of the loop's iteration list owned by ``shard``.
+
+    ``chunk = 0`` (default) keeps the contiguous split: shard ``i`` owns
+    the ``i``-th block of roughly ``n / shards`` iterations.  ``chunk >=
+    1`` switches to round-robin chunks: the iteration list is cut into
+    blocks of ``chunk`` iterations and block ``j`` goes to shard ``j %
+    shards`` — finer interleaving for loops whose per-iteration cost is
+    skewed.  Either way every iteration lands on exactly one shard and
+    each shard's slice stays in ascending iteration order, which is what
+    the byte-identical merge relies on.
+    """
     if step == 0:
         raise PipelineError("zero loop step")
     if not (0 <= shard < shards):
         raise PipelineError(f"shard {shard} out of range for {shards} shards")
+    if chunk < 0:
+        raise PipelineError(f"chunk must be >= 0, got {chunk}")
     stop = hi + 1 if step > 0 else hi - 1
     iters = list(range(lo, stop, step))
-    n = len(iters)
-    return iters[shard * n // shards : (shard + 1) * n // shards]
+    if not chunk:
+        n = len(iters)
+        return iters[shard * n // shards : (shard + 1) * n // shards]
+    out: list[int] = []
+    for block_start in range(shard * chunk, len(iters), shards * chunk):
+        out.extend(iters[block_start : block_start + chunk])
+    return out
 
 
 def target_loop(proc: Procedure, loop_var: Optional[str] = None) -> tuple[int, ParallelLoop]:
@@ -133,9 +154,10 @@ def run_shard(workload_name: str, options: Mapping[str, object]) -> dict:
     """Execute one shard of a PARALLEL DO loop (the ``par_shard`` job body).
 
     Options: ``loop`` (induction var), ``shard``/``shards`` (slice id),
-    ``sizes`` (encoded), ``seed``.  Returns the shard's write set —
-    ``{"writes": {array: [[index...], value] ...}, "scalars": {...}}`` —
-    ready for JSON/store transport.
+    ``sizes`` (encoded), ``seed``, and optionally ``chunk`` (round-robin
+    chunk granularity; absent/0 = contiguous).  Returns the shard's
+    write set — ``{"writes": {array: [[index...], value] ...},
+    "scalars": {...}}`` — ready for JSON/store transport.
     """
     from repro.pipeline.workloads import get_workload
 
@@ -144,6 +166,7 @@ def run_shard(workload_name: str, options: Mapping[str, object]) -> dict:
     t, loop = target_loop(proc, str(options["loop"]))
     shard = int(options["shard"])
     shards = int(options["shards"])
+    chunk = int(options.get("chunk", 0))
     seed = int(options.get("seed", 0))
     sizes = decode_sizes(str(options.get("sizes", ""))) or dict(workload.verify_sizes)
 
@@ -154,7 +177,7 @@ def run_shard(workload_name: str, options: Mapping[str, object]) -> dict:
     lo = int(interp.eval(loop.lo))
     hi = int(interp.eval(loop.hi))
     step = int(interp.eval(loop.step))
-    iters = iteration_slice(lo, hi, step, shard, shards)
+    iters = iteration_slice(lo, hi, step, shard, shards, chunk)
 
     recorder = _WriteRecorder()
     interp.tracer = recorder
@@ -208,8 +231,16 @@ def run_sharded(
     pool=None,
     store=None,
     timeout_s: float = 300.0,
+    chunk: int = 0,
 ) -> dict:
     """Shard a workload's PARALLEL DO across the pool and verify the merge.
+
+    ``chunk`` selects the slicing granularity (see
+    :func:`iteration_slice`): 0 keeps contiguous shards, ``N >= 1``
+    interleaves round-robin chunks of ``N`` iterations.  Both
+    granularities merge to the byte-identical serial result — a PARALLEL
+    verdict means each element is written by exactly one iteration, so
+    ownership, not ordering, decides every element's final value.
 
     Returns a JSON-ready report with serial/sharded wall times, the
     measured speedup, per-shard statuses, and ``identical`` — the result
@@ -233,17 +264,21 @@ def run_sharded(
     ref_env = execute(proc, sizes, seed=seed)
     serial_s = time.perf_counter() - t0
 
+    # "chunk" enters the options (and thus the store key) only when
+    # nonzero, so pre-chunking digests of contiguous runs stay valid
+    base_options = {
+        "loop": loop.var,
+        "shards": shards,
+        "sizes": encode_sizes(sizes),
+        "seed": seed,
+    }
+    if chunk:
+        base_options["chunk"] = chunk
     specs = [
         JobSpec(
             kind="par_shard",
             workload=workload_name,
-            options={
-                "loop": loop.var,
-                "shard": i,
-                "shards": shards,
-                "sizes": encode_sizes(sizes),
-                "seed": seed,
-            },
+            options={**base_options, "shard": i},
             timeout_s=timeout_s,
             label=f"par:{workload_name}:{loop.var}[{i + 1}/{shards}]",
         )
@@ -257,7 +292,9 @@ def run_sharded(
         with _obs.span(f"par:shard:{workload_name}", cat="par", loop=loop.var):
             t0 = time.perf_counter()
             env = make_env(proc, sizes, seed=seed)
-            Interpreter(env).run(proc.body[:t])
+            interp = Interpreter(env)
+            interp.run(proc.body[:t])
+            step_sign = 1 if int(interp.eval(loop.step)) > 0 else -1
             outcomes = pool.run(specs)
             failed = [o for o in outcomes if not o.ok]
             if failed:
@@ -265,15 +302,25 @@ def run_sharded(
                     f"{len(failed)}/{shards} shard jobs failed: "
                     + "; ".join(str(o.error) for o in failed)
                 )
-            last_nonempty = None
+            # scalar finals must come from the shard owning the loop's
+            # *globally* last iteration — under chunking that is no
+            # longer the last non-empty shard in shard order, it is the
+            # one whose slice reaches furthest along the iteration
+            # sequence (largest "last" for ascending steps, smallest for
+            # descending)
+            final = None
             for outcome in outcomes:
                 _apply_shard(env, outcome.value)
-                if outcome.value["iterations"]:
-                    last_nonempty = outcome.value
-            if last_nonempty is not None:
-                for name, value in last_nonempty["scalars"].items():
+                value = outcome.value
+                if value["iterations"] and (
+                    final is None
+                    or step_sign * value["last"] > step_sign * final["last"]
+                ):
+                    final = value
+            if final is not None:
+                for name, value in final["scalars"].items():
                     env[name] = value
-                env[loop.var] = last_nonempty["last"]
+                env[loop.var] = final["last"]
             Interpreter(env).run(proc.body[t + 1 :])
             sharded_s = time.perf_counter() - t0
     finally:
@@ -294,6 +341,7 @@ def run_sharded(
         "workload": workload_name,
         "loop": loop.var,
         "shards": shards,
+        "chunk": chunk,
         "workers": workers,
         "sizes": {k: _json_value(v) for k, v in sizes.items()},
         "seed": seed,

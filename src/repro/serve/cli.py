@@ -33,11 +33,17 @@ import json
 import sys
 from typing import Optional
 
+from repro.artifacts import publish
 from repro.errors import PipelineError, ReproError
 from repro.obs import core as obs_core
 from repro.obs import export as obs_export
 from repro.serve.jobs import JobSpec
-from repro.serve.service import run_batch, validate_report, write_report
+from repro.serve.service import (
+    build_store_ops,
+    run_batch,
+    validate_report,
+    write_report,
+)
 from repro.serve.store import ArtifactStore
 
 
@@ -268,12 +274,15 @@ def main(argv: Optional[list] = None) -> int:
             return _run_jobs(args, _specs_from_batch(args.specs))
         store = ArtifactStore(args.store_dir)
         if args.command == "stats":
-            stats = store.stats()
-            on_disk = {k: stats[k] for k in
-                       ("root", "schema_version", "entries", "bytes")}
+            # even the maintenance records ship enveloped: `--json`
+            # output is a repro.serve.store/1 document that `python -m
+            # repro.artifacts validate -` accepts
+            doc = build_store_ops("stats", store)
             if args.json:
-                print(json.dumps(on_disk, indent=2))
+                print(json.dumps(publish(None, doc, producer=__package__),
+                                 indent=2))
             else:
+                on_disk = doc["store"]
                 print(f"store at {on_disk['root']} "
                       f"(schema v{on_disk['schema_version']}): "
                       f"{on_disk['entries']} entries, {on_disk['bytes']} bytes")
@@ -286,8 +295,10 @@ def main(argv: Optional[list] = None) -> int:
             summary = store.gc(
                 max_entries=args.max_entries, max_age_s=args.max_age_s
             )
+            doc = build_store_ops("gc", store, gc=summary)
             if args.json:
-                print(json.dumps(summary, indent=2))
+                print(json.dumps(publish(None, doc, producer=__package__),
+                                 indent=2))
             else:
                 print(f"gc: removed {summary['removed']}, "
                       f"kept {summary['kept']}")

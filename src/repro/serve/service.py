@@ -263,3 +263,74 @@ def write_report(path: str, doc: dict, store=None, request=None) -> dict:
     out); optionally lands it in the store sink.  Returns the envelope."""
     return publish(path, doc, producer=__package__, store=store,
                    request=request)
+
+
+# ---------------------------------------------------------------------------
+# store maintenance records (the ``stats`` / ``gc`` subcommands)
+# ---------------------------------------------------------------------------
+
+#: operations a ``repro.serve.store/1`` record can describe
+STORE_OPS = ("stats", "gc")
+
+
+def build_store_ops(op: str, store: ArtifactStore,
+                    gc: Optional[dict] = None) -> dict:
+    """The ``repro.serve.store/1`` payload for one maintenance
+    operation: a ``stats`` snapshot, or a ``gc`` outcome plus the
+    post-collection snapshot."""
+    from repro.artifacts.registry import SERVE_STORE
+
+    stats = store.stats()
+    return {
+        "schema": SERVE_STORE,
+        "op": op,
+        "store": {k: stats[k] for k in
+                  ("root", "schema_version", "entries", "bytes")},
+        "gc": (
+            {"removed": int(gc["removed"]), "kept": int(gc["kept"])}
+            if gc is not None else None
+        ),
+    }
+
+
+def validate_store_ops(doc: dict) -> list[str]:
+    """Problems with a store-maintenance payload (empty = valid) — the
+    registered payload check for ``repro.serve.store/1``."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    op = doc.get("op")
+    if op not in STORE_OPS:
+        errors.append(f"unknown op {op!r} (want one of {STORE_OPS})")
+    store = doc.get("store")
+    if not isinstance(store, dict):
+        errors.append("missing or non-object field 'store'")
+    else:
+        for key in ("root", "entries", "bytes"):
+            if key not in store:
+                errors.append(f"store missing field {key!r}")
+        for key in ("entries", "bytes"):
+            if key in store and not isinstance(store[key], int):
+                errors.append(f"store.{key} is not an integer")
+    gc = doc.get("gc")
+    if op == "gc" and not isinstance(gc, dict):
+        errors.append("op is 'gc' but field 'gc' is missing or non-object")
+    if isinstance(gc, dict):
+        for key in ("removed", "kept"):
+            if not isinstance(gc.get(key), int):
+                errors.append(f"gc.{key} missing or non-integer")
+    return errors
+
+
+def flatten_store_ops(doc: dict) -> dict:
+    """Flat perf metrics for a store-maintenance payload — the
+    registered perf ingestion hook for ``repro.serve.store/1``."""
+    sink = Sink()
+    store = doc.get("store") or {}
+    for key in ("entries", "bytes"):
+        sink.put(f"store:{key}", store.get(key))
+    gc = doc.get("gc")
+    if isinstance(gc, dict):
+        for key in ("removed", "kept"):
+            sink.put(f"store:gc.{key}", gc.get(key))
+    return sink.metrics

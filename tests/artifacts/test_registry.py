@@ -7,6 +7,7 @@ import pytest
 from repro.artifacts import envelope, registry, require_valid, validate_document
 from repro.artifacts.registry import (
     CHECK_REPORT,
+    DAEMON_STATUS,
     MATRIX_REPORT,
     OBS_METRICS,
     OBS_SNAPSHOT,
@@ -15,7 +16,9 @@ from repro.artifacts.registry import (
     PERF_GATE,
     PIPELINE_BENCH,
     PIPELINE_TRACE,
+    SERVE_LOAD,
     SERVE_REPORT,
+    SERVE_STORE,
 )
 from repro.artifacts.validate import (
     RULE_DIGEST,
@@ -30,7 +33,7 @@ from repro.errors import ArtifactError
 ALL_IDS = (
     PIPELINE_TRACE, PIPELINE_BENCH, OBS_METRICS, OBS_SNAPSHOT,
     CHECK_REPORT, SERVE_REPORT, MATRIX_REPORT, PERF_GATE, PERF_BASELINE,
-    PAR_REPORT,
+    PAR_REPORT, DAEMON_STATUS, SERVE_LOAD, SERVE_STORE,
 )
 
 

@@ -1,0 +1,233 @@
+"""Daemon lifecycle: admission, shedding, drain, restart, fault isolation."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.artifacts import payload_of, validate_document
+from repro.artifacts.registry import DAEMON_STATUS
+from repro.daemon import Daemon, DaemonConfig
+from repro.daemon import state as dstate
+from repro.daemon.status import flatten_status, validate_status
+from repro.errors import DaemonError
+
+
+@pytest.fixture
+def store_dir(tmp_path) -> str:
+    return str(tmp_path / "cache")
+
+
+def make_daemon(store_dir, **overrides) -> Daemon:
+    defaults = dict(workers=1, queue_limit=4, deadline_s=30.0,
+                    store_dir=store_dir, backoff_s=0.01)
+    defaults.update(overrides)
+    return Daemon(DaemonConfig(**defaults)).start()
+
+
+def submit(d: Daemon, job: dict, **extra) -> dstate.DaemonReply:
+    return dstate.request(
+        "127.0.0.1", d.port, "POST", "/v1/jobs",
+        {"job": job, **extra}, timeout_s=60.0,
+    )
+
+
+def probe(seconds=0.0, nonce=None, **opts) -> dict:
+    options = {"action": "ok", "seconds": seconds, **opts}
+    if nonce is not None:
+        options["nonce"] = nonce
+    return {"kind": "probe", "workload": "t", "options": options}
+
+
+@pytest.fixture
+def daemon(store_dir):
+    d = make_daemon(store_dir)
+    yield d
+    d.request_drain()
+    assert d.wait_stopped(30.0)
+
+
+class TestRequests:
+    def test_cold_then_memory_then_store_hit(self, daemon):
+        job = probe(value=7)
+        cold = submit(daemon, job)
+        assert cold.ok and cold.body["status"] == "computed"
+        assert cold.body["attempts"] == 1
+        warm = submit(daemon, job)
+        assert warm.ok and warm.body["status"] == "hit"
+        assert warm.body["source"] == "memory"
+        assert warm.body["attempts"] == 0
+        assert warm.body["digest"] == cold.body["digest"]
+
+    def test_bad_request_diagnostic(self, daemon):
+        reply = submit(daemon, {"kind": "nope"})
+        assert reply.status == 400
+        assert reply.rule == "daemon/bad-request"
+
+    def test_unknown_endpoint(self, daemon):
+        reply = dstate.request("127.0.0.1", daemon.port, "GET", "/v1/nope")
+        assert reply.status == 404
+        assert reply.rule == "daemon/not-found"
+
+    def test_failed_job_resolves_not_hangs(self, daemon):
+        job = {"kind": "probe", "workload": "t", "max_retries": 0,
+               "use_store": False, "options": {"action": "terminal"}}
+        reply = submit(daemon, job)
+        assert reply.ok  # HTTP 200: the *request* resolved
+        assert reply.body["status"] == "failed"
+        assert reply.body["error"]
+
+    def test_killed_worker_surfaces_as_failed(self, daemon):
+        job = {"kind": "probe", "workload": "t", "max_retries": 0,
+               "use_store": False, "options": {"action": "kill"}}
+        reply = submit(daemon, job)
+        assert reply.ok
+        assert reply.body["status"] == "failed"
+        assert "died" in reply.body["error"]
+        # and the daemon still answers afterwards (worker respawned)
+        again = submit(daemon, probe(value=1))
+        assert again.ok and again.body["status"] in ("hit", "computed")
+
+    def test_request_deadline_times_out(self, daemon):
+        job = probe(seconds=5.0, nonce=1)
+        job["use_store"] = False
+        reply = submit(daemon, job, deadline_s=0.3)
+        assert reply.status == 504
+        assert reply.rule == "daemon/deadline"
+
+
+class TestSaturation:
+    def test_shedding_never_deadlocks(self, store_dir):
+        d = make_daemon(store_dir, queue_limit=2)
+        try:
+            replies = []
+            lock = threading.Lock()
+
+            def fire(i):
+                r = submit(d, probe(seconds=0.4, nonce=i))
+                with lock:
+                    replies.append(r)
+
+            threads = [threading.Thread(target=fire, args=(i,))
+                       for i in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30.0)
+            assert len(replies) == 8  # every request got an answer
+            shed = [r for r in replies if r.status == 429]
+            served = [r for r in replies if r.ok]
+            assert shed, "burst over a queue_limit=2 window must shed"
+            assert all(r.rule == "daemon/saturated" for r in shed)
+            assert served, "the window's worth of jobs must still resolve"
+            # shed responses carry the window occupancy for client backoff
+            assert all(r.body["error"]["limit"] == 2 for r in shed)
+        finally:
+            d.request_drain()
+            assert d.wait_stopped(30.0)
+
+
+class TestDrainAndRestart:
+    def test_drain_completes_in_flight_jobs(self, store_dir):
+        d = make_daemon(store_dir)
+        reply_box = {}
+
+        def fire():
+            reply_box["r"] = submit(d, probe(seconds=0.5, nonce="drain"))
+
+        t = threading.Thread(target=fire)
+        t.start()
+        import time
+        time.sleep(0.15)  # let the job reach the worker
+        d.request_drain()
+        t.join(30.0)
+        assert d.wait_stopped(30.0)
+        r = reply_box["r"]
+        assert r.ok and r.body["status"] == "computed"
+        # new requests during/after the drain are refused, not queued
+        with pytest.raises(DaemonError):
+            submit(d, probe())
+
+    def test_drain_rejects_new_requests(self, store_dir):
+        d = make_daemon(store_dir)
+        d._draining.set()  # flag only: server still up, scheduler alive
+        reply = submit(d, probe())
+        assert reply.status == 503
+        assert reply.rule == "daemon/draining"
+        d.request_drain()
+        assert d.wait_stopped(30.0)
+
+    def test_restart_reuses_warm_store_with_zero_attempts(self, store_dir):
+        job = probe(value=42)
+        d1 = make_daemon(store_dir)
+        cold = submit(d1, job)
+        assert cold.body["status"] == "computed"
+        d1.request_drain()
+        assert d1.wait_stopped(30.0)
+
+        d2 = make_daemon(store_dir)
+        try:
+            warm = submit(d2, job)
+            assert warm.ok and warm.body["status"] == "hit"
+            assert warm.body["source"] == "store"  # disk, not memory
+            assert warm.body["attempts"] == 0
+            assert warm.body["digest"] == cold.body["digest"]
+        finally:
+            d2.request_drain()
+            assert d2.wait_stopped(30.0)
+
+    def test_state_file_lifecycle(self, store_dir):
+        d = make_daemon(store_dir)
+        doc = dstate.read_state(d.store.root)
+        assert doc is not None and doc["port"] == d.port
+        d.request_drain()
+        assert d.wait_stopped(30.0)
+        assert dstate.read_state(d.store.root) is None
+
+    def test_stale_state_file_is_cleaned(self, store_dir, tmp_path):
+        root = tmp_path / "cache2"
+        dstate.write_state(root, {"pid": 2 ** 22 + 12345,
+                                  "host": "127.0.0.1", "port": 1})
+        assert dstate.read_state(root) is None
+        assert not dstate.state_path(root).exists()
+
+
+class TestStatus:
+    def test_status_envelope_validates(self, daemon):
+        submit(daemon, probe(value=1))
+        submit(daemon, probe(value=1))
+        reply = dstate.request("127.0.0.1", daemon.port, "GET", "/v1/status")
+        assert reply.ok
+        assert validate_document(reply.body) == []
+        payload = payload_of(reply.body)
+        assert payload["schema"] == DAEMON_STATUS
+        assert validate_status(payload) == []
+        assert payload["state"] == "running"
+        assert payload["requests"]["received"] == 2
+        assert payload["requests"]["memory_hits"] == 1
+        assert payload["requests"]["completed"]["computed"] == 1
+
+    def test_status_flattens_to_daemon_metrics(self, daemon):
+        submit(daemon, probe(value=9))
+        payload = daemon.status_payload()
+        metrics = flatten_status(payload)
+        assert metrics["daemon:requests.received"] == 1.0
+        assert metrics["daemon:completed.computed"] == 1.0
+        assert "daemon:latency.request_s.p50" in metrics
+
+    def test_validator_rejects_junk(self):
+        assert validate_status([]) == ["document is not an object"]
+        problems = validate_status({"state": "confused"})
+        assert any("unknown state" in p for p in problems)
+
+    def test_final_status_written_on_drain(self, store_dir):
+        d = make_daemon(store_dir)
+        submit(d, probe(value=3))
+        d.request_drain()
+        assert d.wait_stopped(30.0)
+        path = d.store.root / "daemon_final_status.json"
+        env = json.loads(path.read_text())
+        assert validate_document(env) == []
+        assert payload_of(env)["state"] == "draining"

@@ -41,6 +41,36 @@ class TestIterationSlice:
         with pytest.raises(PipelineError, match="out of range"):
             iteration_slice(1, 10, 1, 2, 2)
 
+    def test_chunked_shards_partition_the_iteration_list(self):
+        for lo, hi, step in ((1, 12, 1), (1, 12, 2), (12, 1, -1),
+                             (1, 0, 1), (1, 7, 3)):
+            full = list(range(lo, hi + (1 if step > 0 else -1), step))
+            for shards in (1, 2, 3):
+                for chunk in (1, 2, 4, 100):
+                    parts = [
+                        iteration_slice(lo, hi, step, i, shards, chunk)
+                        for i in range(shards)
+                    ]
+                    assert sorted(v for p in parts for v in p) == \
+                        sorted(full), (lo, hi, step, shards, chunk)
+                    # each slice preserves iteration order
+                    order = {v: k for k, v in enumerate(full)}
+                    for p in parts:
+                        assert [order[v] for v in p] == \
+                            sorted(order[v] for v in p)
+
+    def test_chunk_one_is_round_robin(self):
+        parts = [iteration_slice(1, 6, 1, i, 2, 1) for i in range(2)]
+        assert parts == [[1, 3, 5], [2, 4, 6]]
+
+    def test_chunk_zero_is_contiguous(self):
+        assert iteration_slice(1, 10, 1, 0, 2, 0) == \
+            iteration_slice(1, 10, 1, 0, 2)
+
+    def test_negative_chunk_rejected(self):
+        with pytest.raises(PipelineError, match="chunk"):
+            iteration_slice(1, 10, 1, 0, 2, -1)
+
 
 class TestSizeEncoding:
     def test_roundtrip(self):
@@ -129,6 +159,39 @@ class TestRunSharded:
         # more shards than iterations in some slices still merges exactly
         result = run_sharded("conv", shards=3, workers=2)
         assert result["identical"] is True
+
+    def test_chunked_merge_is_byte_identical_to_contiguous(self):
+        # the acceptance property for --chunk: both granularities are
+        # asserted byte-identical to the serial interpreter inside
+        # run_sharded, so equal checksums mean chunked == contiguous
+        # == serial, byte for byte
+        contiguous = run_sharded("conv", shards=2, workers=2)
+        chunked = run_sharded("conv", shards=2, workers=2, chunk=3)
+        assert contiguous["identical"] is True
+        assert chunked["identical"] is True
+        assert chunked["chunk"] == 3 and contiguous["chunk"] == 0
+        assert chunked["checksum"] == contiguous["checksum"]
+        assert chunked["iterations"] == contiguous["iterations"]
+
+    def test_chunked_scalar_finals_follow_the_global_last_iteration(self):
+        # with chunk=1 over 2 shards, the globally-last iteration can
+        # live on shard 0 — the merge must take scalar finals from the
+        # owner of that iteration, not the last shard in shard order
+        result = run_sharded("conv", shards=2, workers=2, chunk=1)
+        assert result["identical"] is True
+
+    def test_chunk_enters_the_job_key_only_when_set(self):
+        from repro.serve.jobs import JobSpec, job_key
+
+        def spec(**opts):
+            options = {"loop": "I", "shard": 0, "shards": 2,
+                       "sizes": "DT=0.5,N1=24,N2=18,N3=20", "seed": 0}
+            options.update(opts)
+            return JobSpec(kind="par_shard", workload="conv",
+                           options=options)
+
+        assert job_key(spec()) != job_key(spec(chunk=2))
+        assert job_key(spec(chunk=2)) != job_key(spec(chunk=3))
 
     def test_serial_workload_has_nothing_to_shard(self):
         with pytest.raises(PipelineError, match="no top-level PARALLEL DO"):

@@ -6,8 +6,8 @@ import json
 
 import pytest
 
-from repro.artifacts import is_envelope, payload_of
-from repro.artifacts.registry import OBS_METRICS
+from repro.artifacts import is_envelope, payload_of, validate_document
+from repro.artifacts.registry import OBS_METRICS, SERVE_STORE
 from repro.serve.cli import main
 from repro.serve.service import validate_report
 from repro.serve.store import ArtifactStore
@@ -123,9 +123,14 @@ class TestStatsAndGc:
         assert main(["stats", "--store-dir", store_dir]) == 0
         assert "3 entries" in capsys.readouterr().out
         assert main(["stats", "--store-dir", store_dir, "--json"]) == 0
-        doc = json.loads(capsys.readouterr().out)
-        assert doc["entries"] == 3
-        assert doc["root"] == store_dir
+        env = json.loads(capsys.readouterr().out)
+        assert is_envelope(env)
+        assert validate_document(env) == []
+        doc = payload_of(env)
+        assert doc["schema"] == SERVE_STORE
+        assert doc["op"] == "stats"
+        assert doc["store"]["entries"] == 3
+        assert doc["store"]["root"] == store_dir
 
     def test_gc_requires_a_limit(self, store_dir, capsys):
         assert main(["gc", "--store-dir", store_dir]) == 2
@@ -135,5 +140,10 @@ class TestStatsAndGc:
         self.seed(store_dir)
         assert main(["gc", "--store-dir", store_dir,
                      "--max-entries", "1", "--json"]) == 0
-        assert json.loads(capsys.readouterr().out) == {"removed": 2, "kept": 1}
+        env = json.loads(capsys.readouterr().out)
+        assert is_envelope(env)
+        assert validate_document(env) == []
+        doc = payload_of(env)
+        assert doc["op"] == "gc"
+        assert doc["gc"] == {"removed": 2, "kept": 1}
         assert ArtifactStore(store_dir).stats()["entries"] == 1
